@@ -1,0 +1,25 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the lowest layer of the reproduction: a small but complete
+autograd engine that the neural-network layers in :mod:`repro.nn` are built on.
+It provides a :class:`~repro.autograd.tensor.Tensor` type that records the
+operations applied to it and can back-propagate gradients through the recorded
+graph, plus the dense numerical kernels (im2col convolution, pooling, softmax
+cross-entropy) in :mod:`repro.autograd.functional`.
+
+The public surface is intentionally close to a small subset of PyTorch so that
+the TBNet algorithms read like the paper's pseudo-code.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.grad_check import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "numerical_gradient",
+    "check_gradients",
+]

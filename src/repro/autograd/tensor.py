@@ -1,0 +1,562 @@
+"""A reverse-mode autograd tensor backed by numpy.
+
+The design follows the classic "define-by-run tape" approach: every operation
+on :class:`Tensor` objects produces a new tensor that remembers its parents and
+a closure computing the local vector-Jacobian product.  Calling
+:meth:`Tensor.backward` performs a topological sort of the recorded graph and
+accumulates gradients into ``.grad`` of every tensor that requires them.
+
+Only the operations needed by the TBNet reproduction are implemented, but each
+is implemented for arbitrary broadcastable shapes so the layer code in
+:mod:`repro.nn` stays simple.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype:
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``, undoing numpy broadcasting.
+
+    Broadcasting may have added leading dimensions and/or stretched size-1
+    dimensions; the adjoint of broadcasting is summation over those axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over extra leading dimensions.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were broadcast from size 1.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        The underlying values (converted to ``float32`` by default).
+    requires_grad:
+        If ``True`` the tensor accumulates gradients during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Tuple["Tensor", ...] = (),
+        _op: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple[Tensor, ...] = _prev
+        self._op = _op
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def clone(self) -> "Tensor":
+        """Return a copy of this tensor that participates in the graph."""
+        out = Tensor(self.data.copy(), requires_grad=self._needs_graph(), _prev=(self,), _op="clone")
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad)
+
+        out._backward = _backward
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}, op={self._op!r})"
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # Graph helpers
+    # ------------------------------------------------------------------ #
+    def _needs_graph(self) -> bool:
+        return self.requires_grad and is_grad_enabled()
+
+    def _accumulate(self, grad: Optional[np.ndarray]) -> None:
+        if grad is None:
+            return
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    @staticmethod
+    def _wrap(other: ArrayLike) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other)
+
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        op: str,
+        backward: Callable[["Tensor"], Callable[[], None]],
+    ) -> "Tensor":
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _prev=parents if requires else (), _op=op)
+        if requires:
+            out._backward = backward(out)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad, other.shape))
+
+            return _backward
+
+        return self._make(self.data + other.data, (self, other), "add", make_backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(-out.grad)
+
+            return _backward
+
+        return self._make(-self.data, (self,), "neg", make_backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._wrap(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+            return _backward
+
+        return self._make(self.data * other.data, (self, other), "mul", make_backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+                if other.requires_grad:
+                    other._accumulate(
+                        _unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape)
+                    )
+
+            return _backward
+
+        return self._make(self.data / other.data, (self, other), "div", make_backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1))
+
+            return _backward
+
+        return self._make(np.power(self.data, exponent), (self,), "pow", make_backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._wrap(other)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad @ other.data.swapaxes(-1, -2))
+                if other.requires_grad:
+                    other._accumulate(self.data.swapaxes(-1, -2) @ out.grad)
+
+            return _backward
+
+        return self._make(self.data @ other.data, (self, other), "matmul", make_backward)
+
+    def abs(self) -> "Tensor":
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * np.sign(self.data))
+
+            return _backward
+
+        return self._make(np.abs(self.data), (self,), "abs", make_backward)
+
+    def exp(self) -> "Tensor":
+        result = np.exp(self.data)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * result)
+
+            return _backward
+
+        return self._make(result, (self,), "exp", make_backward)
+
+    def log(self) -> "Tensor":
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad / self.data)
+
+            return _backward
+
+        return self._make(np.log(self.data), (self,), "log", make_backward)
+
+    def sqrt(self) -> "Tensor":
+        result = np.sqrt(self.data)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * 0.5 / result)
+
+            return _backward
+
+        return self._make(result, (self,), "sqrt", make_backward)
+
+    # ------------------------------------------------------------------ #
+    # Non-linearities
+    # ------------------------------------------------------------------ #
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * mask)
+
+            return _backward
+
+        return self._make(self.data * mask, (self,), "relu", make_backward)
+
+    def sigmoid(self) -> "Tensor":
+        result = 1.0 / (1.0 + np.exp(-self.data))
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * result * (1.0 - result))
+
+            return _backward
+
+        return self._make(result, (self,), "sigmoid", make_backward)
+
+    def tanh(self) -> "Tensor":
+        result = np.tanh(self.data)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * (1.0 - result ** 2))
+
+            return _backward
+
+        return self._make(result, (self,), "tanh", make_backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and shape manipulation
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is None:
+                    grad = np.broadcast_to(grad, self.shape)
+                else:
+                    if not keepdims:
+                        grad = np.expand_dims(grad, axis=axis)
+                    grad = np.broadcast_to(grad, self.shape)
+                self._accumulate(grad.astype(self.data.dtype))
+
+            return _backward
+
+        return self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum", make_backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        result = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return result
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad.reshape(original_shape))
+
+            return _backward
+
+        return self._make(self.data.reshape(shape), (self,), "reshape", make_backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = tuple(np.argsort(axes))
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad.transpose(inverse))
+
+            return _backward
+
+        return self._make(self.data.transpose(axes), (self,), "transpose", make_backward)
+
+    def flatten(self, start_dim: int = 1) -> "Tensor":
+        new_shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(new_shape)
+
+    def __getitem__(self, index) -> "Tensor":
+        original_shape = self.shape
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    grad = np.zeros(original_shape, dtype=self.data.dtype)
+                    np.add.at(grad, index, out.grad)
+                    self._accumulate(grad)
+
+            return _backward
+
+        return self._make(self.data[index], (self,), "getitem", make_backward)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        result = self.data.max(axis=axis, keepdims=keepdims)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if not self.requires_grad:
+                    return
+                expanded = result if keepdims or axis is None else np.expand_dims(result, axis=axis)
+                grad = out.grad if keepdims or axis is None else np.expand_dims(out.grad, axis=axis)
+                mask = (self.data == expanded).astype(self.data.dtype)
+                # Distribute gradient evenly across ties.
+                denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+                self._accumulate(grad * mask / denom)
+
+            return _backward
+
+        return self._make(result, (self,), "max", make_backward)
+
+    # ------------------------------------------------------------------ #
+    # Combination helpers used by the two-branch model
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._wrap(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                    if tensor.requires_grad:
+                        slicer = [slice(None)] * out.grad.ndim
+                        slicer[axis] = slice(start, end)
+                        tensor._accumulate(out.grad[tuple(slicer)])
+
+            return _backward
+
+        return Tensor._make(data, tuple(tensors), "concat", make_backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._wrap(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                grads = np.split(out.grad, len(tensors), axis=axis)
+                for tensor, grad in zip(tensors, grads):
+                    if tensor.requires_grad:
+                        tensor._accumulate(np.squeeze(grad, axis=axis))
+
+            return _backward
+
+        return Tensor._make(data, tuple(tensors), "stack", make_backward)
+
+    def pad2d(self, padding: int) -> "Tensor":
+        """Zero-pad the two trailing spatial dimensions of an NCHW tensor."""
+        if padding == 0:
+            return self
+        pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        padded = np.pad(self.data, pad_width, mode="constant")
+
+        def make_backward(out: "Tensor") -> Callable[[], None]:
+            def _backward() -> None:
+                if self.requires_grad:
+                    grad = out.grad[:, :, padding:-padding, padding:-padding]
+                    self._accumulate(grad)
+
+            return _backward
+
+        return self._make(padded, (self,), "pad2d", make_backward)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate gradients from this tensor through the graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        self.grad = _as_array(grad, dtype=self.data.dtype).reshape(self.shape)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        for node in reversed(topo):
+            node._backward()
+
+    # Convenience constructors -------------------------------------------------
+    @staticmethod
+    def zeros(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape).astype(np.float32), requires_grad=requires_grad)
