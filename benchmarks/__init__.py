@@ -1,0 +1,11 @@
+"""Benchmark harness for the repro autograd engine.
+
+``benchmarks/_seed_tensor.py`` is a frozen copy of the seed tape engine
+(allocating gradient accumulation, non-freeing backward pass); the harness
+times identical workloads on it and on ``repro.autograd`` so every PR has a
+performance trajectory to beat.  Run::
+
+    PYTHONPATH=src python benchmarks/bench_autograd.py
+
+which writes ``BENCH_autograd.json`` in the repository root.
+"""

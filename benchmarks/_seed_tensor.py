@@ -6,34 +6,15 @@ a closure computing the local vector-Jacobian product.  Calling
 :meth:`Tensor.backward` performs a topological sort of the recorded graph and
 accumulates gradients into ``.grad`` of every tensor that requires them.
 
-Hot-path notes
---------------
-Gradient accumulation is done **in place**: the first gradient that reaches a
-tensor is copied exactly once (the "ownership copy"), and every later
-contribution is ``+=``-ed into that owned buffer via ``np.add(..., out=...)``.
-Backward closures that produce a fresh temporary hand it over through
-:meth:`Tensor._accumulate_fresh`, which *donates* the buffer instead of copying
-it, so the common single-consumer case allocates nothing extra at all.
-
-``backward(retain_graph=False)`` (the default) frees the recorded graph after
-the pass: backward closures and parent links are dropped, which breaks the
-reference cycles between tensors and their closures and lets CPython reclaim
-the graph by refcounting instead of waiting for the cycle collector.  Training
-loops therefore neither leak the whole graph nor stall in periodic GC sweeps.
-Pass ``retain_graph=True`` to keep the graph (and to reuse the cached
-topological order on repeated ``backward()`` calls over the same graph).
-
 Only the operations needed by the TBNet reproduction are implemented, but each
 is implemented for arbitrary broadcastable shapes so the layer code in
-:mod:`repro.nn` stays simple.  Dense spatial kernels (im2col convolution,
-pooling, fused softmax cross-entropy) live in :mod:`repro.autograd.functional`.
+:mod:`repro.nn` stays simple.
 """
 
 from __future__ import annotations
 
 import contextlib
-import numbers
-from typing import Callable, Optional, Sequence, Tuple, Union
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -71,10 +52,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` so that it has ``shape``, undoing numpy broadcasting.
 
     Broadcasting may have added leading dimensions and/or stretched size-1
-    dimensions; the adjoint of broadcasting is summation over those axes.  The
-    no-op case (shapes already equal) returns ``grad`` itself without any
-    work, so callers can cheaply detect whether a reduction happened by
-    identity (``result is grad``).
+    dimensions; the adjoint of broadcasting is summation over those axes.
     """
     if grad.shape == shape:
         return grad
@@ -86,25 +64,7 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
-    # A full reduction yields a numpy scalar; grads must stay writable arrays.
-    return np.asarray(grad).reshape(shape)
-
-
-def _raise_freed_graph() -> None:
-    """Backward sentinel installed on freed graph nodes."""
-    raise RuntimeError(
-        "trying to run backward through a graph that has already been freed; "
-        "pass retain_graph=True to backward() if you need multiple passes"
-    )
-
-
-def _normalize_axes(axis, ndim: int) -> Tuple[int, ...]:
-    """Return ``axis`` as a tuple of non-negative ints sorted ascending."""
-    if isinstance(axis, (tuple, list)):
-        axes = tuple(axis)
-    else:
-        axes = (axis,)
-    return tuple(sorted(a % ndim for a in axes))
+    return grad.reshape(shape)
 
 
 class Tensor:
@@ -117,12 +77,9 @@ class Tensor:
     requires_grad:
         If ``True`` the tensor accumulates gradients during
         :meth:`backward`.
-    dtype:
-        Override the storage dtype (e.g. ``np.float64`` for finite-difference
-        gradient checking).  ``None`` keeps the ``float32`` default.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op", "_topo", "__weakref__")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
 
     def __init__(
         self,
@@ -130,15 +87,13 @@ class Tensor:
         requires_grad: bool = False,
         _prev: Tuple["Tensor", ...] = (),
         _op: str = "",
-        dtype=None,
     ) -> None:
-        self.data = _as_array(data, dtype=dtype or np.float32)
+        self.data = _as_array(data)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
-        self._backward: Optional[Callable[[], None]] = None
+        self._backward: Callable[[], None] = lambda: None
         self._prev: Tuple[Tensor, ...] = _prev
         self._op = _op
-        self._topo: Optional[list] = None
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -168,19 +123,18 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+        return Tensor(self.data, requires_grad=False)
 
     def clone(self) -> "Tensor":
         """Return a copy of this tensor that participates in the graph."""
+        out = Tensor(self.data.copy(), requires_grad=self._needs_graph(), _prev=(self,), _op="clone")
 
-        def make_backward(out: "Tensor") -> Callable[[], None]:
-            def _backward() -> None:
-                if self.requires_grad:
-                    self._accumulate(out.grad)
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad)
 
-            return _backward
-
-        return self._make(self.data.copy(), (self,), "clone", make_backward)
+        out._backward = _backward
+        return out
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -194,42 +148,16 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Graph helpers
     # ------------------------------------------------------------------ #
-    def _accumulate(self, grad: Optional[np.ndarray]) -> None:
-        """Accumulate a gradient buffer we do **not** own.
+    def _needs_graph(self) -> bool:
+        return self.requires_grad and is_grad_enabled()
 
-        The first contribution is copied once so ``self.grad`` is always an
-        owned, writable buffer; later contributions are added in place.
-        """
+    def _accumulate(self, grad: Optional[np.ndarray]) -> None:
         if grad is None:
             return
-        g = self.grad
-        if g is None:
-            dtype = self.data.dtype
-            self.grad = grad.astype(dtype) if grad.dtype != dtype else grad.copy()
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
         else:
-            np.add(g, grad, out=g)
-
-    def _accumulate_fresh(self, grad: np.ndarray) -> None:
-        """Accumulate a freshly allocated, writable gradient buffer.
-
-        Ownership of ``grad`` is donated: when no gradient has been recorded
-        yet the buffer is adopted as-is (no copy), otherwise it is added in
-        place into the owned buffer.
-        """
-        g = self.grad
-        if g is None:
-            dtype = self.data.dtype
-            self.grad = grad if grad.dtype == dtype else grad.astype(dtype)
-        else:
-            np.add(g, grad, out=g)
-
-    def _accumulate_bcast(self, grad: np.ndarray) -> None:
-        """Accumulate a shared buffer that may need unbroadcasting first."""
-        reduced = _unbroadcast(grad, self.data.shape)
-        if reduced is grad:
-            self._accumulate(grad)
-        else:
-            self._accumulate_fresh(reduced)
+            self.grad = self.grad + grad
 
     @staticmethod
     def _wrap(other: ArrayLike) -> "Tensor":
@@ -245,7 +173,7 @@ class Tensor:
         backward: Callable[["Tensor"], Callable[[], None]],
     ) -> "Tensor":
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires, _prev=parents if requires else (), _op=op, dtype=data.dtype)
+        out = Tensor(data, requires_grad=requires, _prev=parents if requires else (), _op=op)
         if requires:
             out._backward = backward(out)
         return out
@@ -259,9 +187,9 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_bcast(out.grad)
+                    self._accumulate(_unbroadcast(out.grad, self.shape))
                 if other.requires_grad:
-                    other._accumulate_bcast(out.grad)
+                    other._accumulate(_unbroadcast(out.grad, other.shape))
 
             return _backward
 
@@ -273,7 +201,7 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(-out.grad)
+                    self._accumulate(-out.grad)
 
             return _backward
 
@@ -291,9 +219,9 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(_unbroadcast(out.grad * other.data, self.data.shape))
+                    self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
                 if other.requires_grad:
-                    other._accumulate_fresh(_unbroadcast(out.grad * self.data, other.data.shape))
+                    other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
 
             return _backward
 
@@ -307,10 +235,10 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(_unbroadcast(out.grad / other.data, self.data.shape))
+                    self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
                 if other.requires_grad:
-                    other._accumulate_fresh(
-                        _unbroadcast(-out.grad * self.data / (other.data ** 2), other.data.shape)
+                    other._accumulate(
+                        _unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape)
                     )
 
             return _backward
@@ -320,21 +248,14 @@ class Tensor:
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._wrap(other) / self
 
-    def __pow__(self, exponent) -> "Tensor":
-        # numpy scalars register with the numbers ABCs, so this covers
-        # np.float32/np.float64/np.intXX as well as Python int/float.
-        if isinstance(exponent, numbers.Real):
-            exponent = float(exponent)
-        else:
-            raise TypeError(
-                "Tensor.__pow__ only supports real scalar exponents, got "
-                f"{type(exponent).__name__}"
-            )
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ only supports scalar exponents")
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * exponent * np.power(self.data, exponent - 1))
+                    self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1))
 
             return _backward
 
@@ -345,27 +266,10 @@ class Tensor:
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
-                a, b = self.data, other.data
-                # numpy matmul treats 1-D operands as a prepended row /
-                # appended column that is squeezed from the result; mirror
-                # that promotion so the adjoint GEMMs see 2-D operands.
-                a2 = a.reshape(1, -1) if a.ndim == 1 else a
-                b2 = b.reshape(-1, 1) if b.ndim == 1 else b
-                g2 = out.grad
-                if b.ndim == 1:  # append the column axis before the row axis
-                    g2 = np.expand_dims(g2, -1)
-                if a.ndim == 1:
-                    g2 = np.expand_dims(g2, -2)
                 if self.requires_grad:
-                    ga = g2 @ b2.swapaxes(-1, -2)
-                    if a.ndim == 1:
-                        ga = np.squeeze(ga, -2)
-                    self._accumulate_fresh(_unbroadcast(ga, a.shape))
+                    self._accumulate(out.grad @ other.data.swapaxes(-1, -2))
                 if other.requires_grad:
-                    gb = a2.swapaxes(-1, -2) @ g2
-                    if b.ndim == 1:
-                        gb = np.squeeze(gb, -1)
-                    other._accumulate_fresh(_unbroadcast(gb, b.shape))
+                    other._accumulate(self.data.swapaxes(-1, -2) @ out.grad)
 
             return _backward
 
@@ -375,7 +279,7 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * np.sign(self.data))
+                    self._accumulate(out.grad * np.sign(self.data))
 
             return _backward
 
@@ -387,7 +291,7 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * result)
+                    self._accumulate(out.grad * result)
 
             return _backward
 
@@ -397,7 +301,7 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad / self.data)
+                    self._accumulate(out.grad / self.data)
 
             return _backward
 
@@ -409,7 +313,7 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * 0.5 / result)
+                    self._accumulate(out.grad * 0.5 / result)
 
             return _backward
 
@@ -424,7 +328,7 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * mask)
+                    self._accumulate(out.grad * mask)
 
             return _backward
 
@@ -436,7 +340,7 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * result * (1.0 - result))
+                    self._accumulate(out.grad * result * (1.0 - result))
 
             return _backward
 
@@ -448,7 +352,7 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * (1.0 - result ** 2))
+                    self._accumulate(out.grad * (1.0 - result ** 2))
 
             return _backward
 
@@ -463,12 +367,13 @@ class Tensor:
                 if not self.requires_grad:
                     return
                 grad = out.grad
-                if axis is not None and not keepdims:
-                    # Re-insert each reduced axis explicitly; older numpy does
-                    # not accept tuples in np.expand_dims.
-                    for a in _normalize_axes(axis, self.data.ndim):
-                        grad = np.expand_dims(grad, axis=a)
-                self._accumulate(np.broadcast_to(grad, self.data.shape))
+                if axis is None:
+                    grad = np.broadcast_to(grad, self.shape)
+                else:
+                    if not keepdims:
+                        grad = np.expand_dims(grad, axis=axis)
+                    grad = np.broadcast_to(grad, self.shape)
+                self._accumulate(grad.astype(self.data.dtype))
 
             return _backward
 
@@ -477,10 +382,10 @@ class Tensor:
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
             count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
         else:
-            count = 1
-            for a in _normalize_axes(axis, self.data.ndim):
-                count *= self.shape[a]
+            count = self.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) / float(count)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -508,10 +413,7 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        # Normalize negatives before inverting: argsort of raw negative axes
-        # produces the wrong inverse permutation.
-        normalized = tuple(a % self.ndim for a in axes)
-        inverse = tuple(np.argsort(normalized))
+        inverse = tuple(np.argsort(axes))
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
@@ -534,7 +436,7 @@ class Tensor:
                 if self.requires_grad:
                     grad = np.zeros(original_shape, dtype=self.data.dtype)
                     np.add.at(grad, index, out.grad)
-                    self._accumulate_fresh(grad)
+                    self._accumulate(grad)
 
             return _backward
 
@@ -547,16 +449,12 @@ class Tensor:
             def _backward() -> None:
                 if not self.requires_grad:
                     return
-                expanded, grad = result, out.grad
-                if axis is not None and not keepdims:
-                    # Re-insert reduced axes one at a time, like sum().
-                    for a in _normalize_axes(axis, self.data.ndim):
-                        expanded = np.expand_dims(expanded, axis=a)
-                        grad = np.expand_dims(grad, axis=a)
+                expanded = result if keepdims or axis is None else np.expand_dims(result, axis=axis)
+                grad = out.grad if keepdims or axis is None else np.expand_dims(out.grad, axis=axis)
                 mask = (self.data == expanded).astype(self.data.dtype)
                 # Distribute gradient evenly across ties.
                 denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-                self._accumulate_fresh(grad * mask / denom)
+                self._accumulate(grad * mask / denom)
 
             return _backward
 
@@ -620,15 +518,16 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Backward pass
     # ------------------------------------------------------------------ #
-    def _toposort(self) -> list:
-        """Iterative post-order topological sort of the recorded graph.
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate gradients from this tensor through the graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        self.grad = _as_array(grad, dtype=self.data.dtype).reshape(self.shape)
 
-        Leaves are skipped entirely: they have no backward closure to run,
-        and gradients reach them through the closures of their consumers.
-        Leaf-ness is detected by ``_backward is None`` (not by empty
-        ``_prev``) so that nodes of an already-freed graph — which carry the
-        raising sentinel — still enter the list and fail loudly.
-        """
         topo: list[Tensor] = []
         visited: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -642,66 +541,11 @@ class Tensor:
             visited.add(id(node))
             stack.append((node, True))
             for parent in node._prev:
-                if parent._backward is not None and id(parent) not in visited:
+                if id(parent) not in visited:
                     stack.append((parent, False))
-        return topo
-
-    def backward(self, grad: Optional[ArrayLike] = None, retain_graph: bool = False) -> None:
-        """Back-propagate gradients from this tensor through the graph.
-
-        Parameters
-        ----------
-        grad:
-            Seed gradient; defaults to ``1`` for scalar tensors.
-        retain_graph:
-            When ``False`` (the default) the recorded graph is freed after
-            the pass: backward closures and parent links of every visited
-            node are dropped.  Pass ``True`` to keep the graph alive for
-            another ``backward()`` call; the topologically sorted node list
-            is cached on this tensor and reused by subsequent calls.
-        """
-        if not self.requires_grad:
-            raise RuntimeError("backward() called on a tensor that does not require grad")
-        if grad is None:
-            if self.data.size != 1:
-                raise RuntimeError("grad must be provided for non-scalar tensors")
-            seed = np.ones_like(self.data)
-        else:
-            arr = np.asarray(grad)
-            if arr.dtype != self.data.dtype:
-                arr = arr.astype(self.data.dtype)
-            else:
-                arr = arr.copy()  # ownership copy: .grad buffers are always writable
-            seed = arr.reshape(self.data.shape)
-
-        topo = self._topo
-        if topo is None:
-            topo = self._toposort()
-
-        # Interior-node grads are transient: clear them so a repeated pass
-        # over a retained graph does not double-count (leaves, which are not
-        # in the topo list, keep accumulating as expected).
-        for node in topo:
-            node.grad = None
-        self.grad = seed
 
         for node in reversed(topo):
-            backward_fn = node._backward
-            if backward_fn is not None:
-                backward_fn()
-
-        if retain_graph:
-            self._topo = topo
-        else:
-            self._topo = None
-            for node in topo:
-                # Drop the closure (breaking the tensor<->closure cycles) and
-                # leave a raising sentinel so a later backward over this graph
-                # fails loudly instead of silently skipping freed nodes.  A
-                # leaf root never had a closure and stays repeatable.
-                if node._backward is not None:
-                    node._backward = _raise_freed_graph
-                node._prev = ()
+            node._backward()
 
     # Convenience constructors -------------------------------------------------
     @staticmethod

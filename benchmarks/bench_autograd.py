@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Benchmark the repro autograd engine against the frozen seed engine.
+
+Workloads
+---------
+``mlp``
+    A classifier training step (forward + backward) on a dense MLP.  On the
+    seed engine the softmax cross-entropy loss is composed from tape
+    primitives (max / exp / sum / log / getitem), which is the only way the
+    seed could express it; on the new engine it uses the fused
+    ``functional.softmax_cross_entropy`` kernel.  This measures the full
+    stack this PR replaces: allocating ``_accumulate`` + non-freeing
+    backward vs. in-place accumulation + graph freeing + fused loss.
+``reduction``
+    A chain of broadcasted elementwise ops and axis reductions — pure tape
+    overhead, identical primitives on both engines.
+``conv``
+    conv2d → relu → max_pool2d → flatten → linear → cross-entropy on the new
+    engine only (the seed engine has no dense spatial kernels).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_autograd.py [--quick] [--output PATH]
+
+Writes ``BENCH_autograd.json`` (see ``schema`` key) with per-workload median
+step times and seed/new speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for _p in (os.path.join(_ROOT, "src"), _ROOT):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from benchmarks import _seed_tensor as seed_engine  # noqa: E402
+from repro.autograd import Tensor as NewTensor  # noqa: E402
+from repro.autograd import functional as F  # noqa: E402
+
+SeedTensor = seed_engine.Tensor
+
+
+# --------------------------------------------------------------------------- #
+# Workload builders: each returns step() -> float running one fwd+bwd pass.
+# --------------------------------------------------------------------------- #
+def _init_mlp_params(tensor_cls, dims: List[int], rng: np.random.Generator):
+    params = []
+    for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+        w = rng.standard_normal((fan_in, fan_out)).astype(np.float32) / np.sqrt(fan_in)
+        b = np.zeros(fan_out, dtype=np.float32)
+        params.append(
+            (tensor_cls(w, requires_grad=True), tensor_cls(b, requires_grad=True))
+        )
+    return params
+
+
+def _manual_cross_entropy(logits, targets_np: np.ndarray):
+    """Softmax cross-entropy from tape primitives (the seed-engine path)."""
+    n = targets_np.shape[0]
+    zmax = logits.max(axis=1, keepdims=True)
+    shifted = logits - zmax
+    lse = shifted.exp().sum(axis=1, keepdims=True).log()
+    logp = shifted - lse
+    picked = logp[np.arange(n), targets_np]
+    return -(picked.mean())
+
+
+def build_mlp_step(engine: str, batch: int, dims: List[int], rng: np.random.Generator) -> Callable[[], float]:
+    tensor_cls = SeedTensor if engine == "seed" else NewTensor
+    params = _init_mlp_params(tensor_cls, dims, rng)
+    x_np = rng.standard_normal((batch, dims[0])).astype(np.float32)
+    y_np = rng.integers(0, dims[-1], batch)
+
+    def step() -> float:
+        h = tensor_cls(x_np)
+        for i, (w, b) in enumerate(params):
+            h = (h @ w + b) if engine == "seed" else F.linear(h, w, b)
+            if i < len(params) - 1:
+                h = h.relu()
+        if engine == "seed":
+            loss = _manual_cross_entropy(h, y_np)
+        else:
+            loss = F.softmax_cross_entropy(h, y_np)
+        loss.backward()
+        for w, b in params:
+            w.zero_grad()
+            b.zero_grad()
+        return float(loss.data)
+
+    return step
+
+
+def build_reduction_step(engine: str, batch: int, width: int, depth: int, rng: np.random.Generator) -> Callable[[], float]:
+    tensor_cls = SeedTensor if engine == "seed" else NewTensor
+    x_np = rng.standard_normal((batch, width)).astype(np.float32)
+    scale = tensor_cls(rng.standard_normal(width).astype(np.float32), requires_grad=True)
+    shift = tensor_cls(rng.standard_normal(width).astype(np.float32), requires_grad=True)
+
+    def step() -> float:
+        h = tensor_cls(x_np)
+        for _ in range(depth):
+            h = (h * scale + shift).relu()
+        loss = (h * h).mean() + h.sum(axis=0).mean()
+        loss.backward()
+        scale.zero_grad()
+        shift.zero_grad()
+        return float(loss.data)
+
+    return step
+
+
+def build_conv_step(batch: int, rng: np.random.Generator) -> Callable[[], float]:
+    in_c, img = 3, 16
+    w1 = NewTensor(rng.standard_normal((8, in_c, 3, 3)).astype(np.float32) * 0.1, requires_grad=True)
+    b1 = NewTensor(np.zeros(8, dtype=np.float32), requires_grad=True)
+    flat_dim = 8 * (img // 2) * (img // 2)
+    w2 = NewTensor(rng.standard_normal((flat_dim, 10)).astype(np.float32) * 0.05, requires_grad=True)
+    b2 = NewTensor(np.zeros(10, dtype=np.float32), requires_grad=True)
+    params = [w1, b1, w2, b2]
+    x_np = rng.standard_normal((batch, in_c, img, img)).astype(np.float32)
+    y_np = rng.integers(0, 10, batch)
+
+    def step() -> float:
+        h = F.conv2d(NewTensor(x_np), w1, b1, stride=1, padding=1).relu()
+        h = F.max_pool2d(h, 2)
+        logits = h.flatten() @ w2 + b2
+        loss = F.softmax_cross_entropy(logits, y_np)
+        loss.backward()
+        for p in params:
+            p.zero_grad()
+        return float(loss.data)
+
+    return step
+
+
+# --------------------------------------------------------------------------- #
+# Timing
+# --------------------------------------------------------------------------- #
+def time_step(step: Callable[[], float], repeats: int, inner: int, warmup: int) -> Dict:
+    for _ in range(warmup):
+        step()
+    samples = []
+    loss = float("nan")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            loss = step()
+        samples.append((time.perf_counter() - start) / inner)
+    samples.sort()
+    median = samples[len(samples) // 2]
+    return {
+        "per_step_ms": median * 1e3,
+        "best_ms": samples[0] * 1e3,
+        "repeats": repeats,
+        "inner_steps": inner,
+        "final_loss": loss,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--output", default=os.path.join(_ROOT, "BENCH_autograd.json"))
+    parser.add_argument("--quick", action="store_true", help="tiny config for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats per workload")
+    parser.add_argument("--batch-sizes", type=int, nargs="+", default=None)
+    args = parser.parse_args(argv)
+
+    quick = args.quick
+    repeats = args.repeats or (3 if quick else 15)
+    inner = 2 if quick else 10
+    warmup = 1 if quick else 5
+    batches = args.batch_sizes or ([32] if quick else [64, 256])
+    mlp_dims = [64, 64, 64, 64, 10]
+    red_width, red_depth = 256, 8
+
+    results = []
+
+    # Each (workload, batch) gets its own fixed seed so the seed and repro
+    # engines train on byte-identical weights and inputs.
+    for batch in batches:
+        for engine in ("seed", "repro"):
+            step = build_mlp_step(engine, batch, mlp_dims, np.random.default_rng(1000 + batch))
+            rec = {"workload": "mlp", "engine": engine, "batch": batch}
+            rec.update(time_step(step, repeats, inner, warmup))
+            results.append(rec)
+            print(f"mlp      {engine:5s} batch={batch:<4d} {rec['per_step_ms']:8.3f} ms/step")
+
+        for engine in ("seed", "repro"):
+            step = build_reduction_step(engine, batch, red_width, red_depth, np.random.default_rng(2000 + batch))
+            rec = {"workload": "reduction", "engine": engine, "batch": batch}
+            rec.update(time_step(step, repeats, inner, warmup))
+            results.append(rec)
+            print(f"reduce   {engine:5s} batch={batch:<4d} {rec['per_step_ms']:8.3f} ms/step")
+
+    conv_batch = batches[0] if quick else 64
+    step = build_conv_step(conv_batch, np.random.default_rng(3000 + conv_batch))
+    rec = {"workload": "conv", "engine": "repro", "batch": conv_batch}
+    rec.update(time_step(step, repeats, max(1, inner // 2), warmup))
+    results.append(rec)
+    print(f"conv     repro batch={conv_batch:<4d} {rec['per_step_ms']:8.3f} ms/step")
+
+    speedups = {}
+    for workload in ("mlp", "reduction"):
+        for batch in batches:
+            times = {
+                r["engine"]: r["per_step_ms"]
+                for r in results
+                if r["workload"] == workload and r["batch"] == batch
+            }
+            if "seed" in times and "repro" in times:
+                speedups[f"{workload}/batch{batch}"] = times["seed"] / times["repro"]
+
+    report = {
+        "schema": "bench_autograd/v1",
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "quick": quick,
+        },
+        "config": {
+            "mlp_dims": mlp_dims,
+            "reduction": {"width": red_width, "depth": red_depth},
+            "batch_sizes": batches,
+            "repeats": repeats,
+            "inner_steps": inner,
+        },
+        "results": results,
+        "speedups": speedups,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"\nwrote {args.output}")
+    for key, value in sorted(speedups.items()):
+        print(f"  speedup {key}: {value:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

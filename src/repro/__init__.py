@@ -1,0 +1,8 @@
+"""Reproduction package for conf_dac_Liu0L024.
+
+Layers:
+
+- :mod:`repro.autograd` — the define-by-run tape engine and dense kernels.
+"""
+
+__version__ = "0.2.0"

@@ -1,0 +1,432 @@
+"""Vectorized dense kernels for the autograd engine.
+
+Every kernel here is a single-pass numpy computation: there are **no Python
+loops over batch or channel dimensions**.  Convolution and pooling are built
+on im2col / col2im — patches are exposed as a zero-copy strided window view
+(:func:`numpy.lib.stride_tricks.sliding_window_view`) and contracted with a
+single ``tensordot`` (which lowers to one GEMM), the only Python-level loops
+being over the kernel footprint (``kh × kw``, a handful of iterations).
+
+All public ops accept :class:`~repro.autograd.tensor.Tensor` (or anything
+coercible to one), record themselves on the tape and return a ``Tensor``
+whose backward pass reuses the saved window views, so forward and backward
+each cost one pass over the data.
+
+Layouts follow the PyTorch convention: images are NCHW, convolution weights
+are ``(out_channels, in_channels, kh, kw)``, classification logits are
+``(batch, classes)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.autograd.tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "linear",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "softmax_cross_entropy",
+]
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected an int or a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _pad_hw(x: np.ndarray, ph: int, pw: int, value: float = 0.0) -> np.ndarray:
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(
+        x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant", constant_values=value
+    )
+
+
+def _window_view(
+    xp: np.ndarray, kh: int, kw: int, sh: int, sw: int
+) -> np.ndarray:
+    """Return a zero-copy ``(N, C, OH, OW, kh, kw)`` window view of ``xp``."""
+    windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))
+    return windows[:, :, ::sh, ::sw]
+
+
+def _check_pool_padding(kh: int, kw: int, ph: int, pw: int) -> None:
+    # Padding wider than half the kernel creates windows lying entirely in
+    # padding (-inf outputs for max, diluted zeros for avg).
+    if 2 * ph > kh or 2 * pw > kw:
+        raise ValueError(
+            f"pool padding ({ph},{pw}) should be at most half the kernel size ({kh},{kw})"
+        )
+
+
+def _out_hw(h: int, w: int, kh: int, kw: int, sh: int, sw: int, ph: int, pw: int) -> Tuple[int, int]:
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (w + 2 * pw - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}) with stride ({sh},{sw}) and padding ({ph},{pw}) "
+            f"does not fit input of spatial size ({h},{w})"
+        )
+    return oh, ow
+
+
+# --------------------------------------------------------------------------- #
+# im2col / col2im (ndarray-level building blocks)
+# --------------------------------------------------------------------------- #
+def im2col(
+    x: np.ndarray, kernel_size: IntPair, stride: IntPair = 1, padding: IntPair = 0
+) -> np.ndarray:
+    """Lower NCHW images to a patch matrix of shape ``(N, OH, OW, C*kh*kw)``.
+
+    The resulting matrix turns convolution into a single GEMM against the
+    flattened filter bank.
+    """
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    xp = _pad_hw(np.asarray(x), ph, pw)
+    win = _window_view(xp, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw)
+    n, c, oh, ow = win.shape[:4]
+    return win.transpose(0, 2, 3, 1, 4, 5).reshape(n, oh, ow, c * kh * kw)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel_size: IntPair,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> np.ndarray:
+    """Scatter-add a ``(N, OH, OW, C*kh*kw)`` patch matrix back to NCHW.
+
+    This is the exact adjoint of :func:`im2col`: overlapping patches sum.
+    """
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, c, h, w = x_shape
+    oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
+    patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            xp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += patches[..., i, j]
+    if ph or pw:
+        return np.ascontiguousarray(xp[:, :, ph : ph + h, pw : pw + w])
+    return xp
+
+
+# --------------------------------------------------------------------------- #
+# Dense layers
+# --------------------------------------------------------------------------- #
+def linear(x, weight, bias=None) -> Tensor:
+    """Fused affine map ``x @ weight + bias`` as a single tape node.
+
+    Weight is ``(in_features, out_features)``.  Compared to composing ``@``
+    and ``+`` this records one node instead of two and its backward is three
+    dense kernels (two GEMMs and a column sum) with no broadcasting
+    bookkeeping.
+    """
+    x_t = Tensor._wrap(x)
+    w_t = Tensor._wrap(weight)
+    b_t = Tensor._wrap(bias) if bias is not None else None
+    if x_t.data.ndim < 2:
+        raise ValueError(
+            "linear expects input of shape (..., in_features); got 1-D input "
+            "(reshape to (1, in_features) for a single sample)"
+        )
+    if b_t is not None and b_t.data.shape != (w_t.data.shape[-1],):
+        raise ValueError(
+            f"linear bias must have shape ({w_t.data.shape[-1]},), got {b_t.data.shape}"
+        )
+
+    out = x_t.data @ w_t.data
+    if b_t is not None:
+        out += b_t.data
+    parents = (x_t, w_t) if b_t is None else (x_t, w_t, b_t)
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            g = out_t.grad
+            if x_t.requires_grad:
+                x_t._accumulate_fresh(g @ w_t.data.swapaxes(-1, -2))
+            if w_t.requires_grad:
+                dw = x_t.data.swapaxes(-1, -2) @ g
+                if dw.ndim > w_t.data.ndim:  # batched input: sum leading dims
+                    dw = dw.sum(axis=tuple(range(dw.ndim - w_t.data.ndim)))
+                w_t._accumulate_fresh(dw)
+            if b_t is not None and b_t.requires_grad:
+                b_t._accumulate_fresh(g.sum(axis=tuple(range(g.ndim - 1))))
+
+        return _backward
+
+    return Tensor._make(out, parents, "linear", make_backward)
+
+
+# --------------------------------------------------------------------------- #
+# Convolution
+# --------------------------------------------------------------------------- #
+def conv2d(
+    x,
+    weight,
+    bias=None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """2-D cross-correlation of an NCHW batch with an OIHW filter bank.
+
+    Forward and backward are each a single im2col GEMM; the backward pass
+    reuses the strided window view saved at trace time (no re-lowering).
+    """
+    x_t = Tensor._wrap(x)
+    w_t = Tensor._wrap(weight)
+    b_t = Tensor._wrap(bias) if bias is not None else None
+
+    xd, wd = x_t.data, w_t.data
+    if xd.ndim != 4 or wd.ndim != 4:
+        raise ValueError("conv2d expects NCHW input and OIHW weight")
+    out_c, in_c, kh, kw = wd.shape
+    if xd.shape[1] != in_c:
+        raise ValueError(f"input has {xd.shape[1]} channels, weight expects {in_c}")
+    if b_t is not None and b_t.data.shape != (out_c,):
+        raise ValueError(f"conv2d bias must have shape ({out_c},), got {b_t.data.shape}")
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, _, h, w = xd.shape
+    oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
+
+    xp = _pad_hw(xd, ph, pw)
+    win = _window_view(xp, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw) view into xp
+    # Contract channels and kernel footprint in one GEMM: -> (N, OH, OW, O).
+    out = np.tensordot(win, wd, axes=((1, 4, 5), (1, 2, 3)))
+    out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+    if b_t is not None:
+        out += b_t.data.reshape(1, -1, 1, 1)
+
+    parents = (x_t, w_t) if b_t is None else (x_t, w_t, b_t)
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            g = out_t.grad  # (N, O, OH, OW)
+            if b_t is not None and b_t.requires_grad:
+                b_t._accumulate_fresh(g.sum(axis=(0, 2, 3)))
+            if w_t.requires_grad:
+                # (N,O,OH,OW) x (N,C,OH,OW,kh,kw) over (N,OH,OW) -> (O,C,kh,kw)
+                w_t._accumulate_fresh(
+                    np.ascontiguousarray(np.tensordot(g, win, axes=((0, 2, 3), (0, 2, 3))))
+                )
+            if x_t.requires_grad:
+                # (N,O,OH,OW) x (O,C,kh,kw) over O -> (N,OH,OW,C,kh,kw),
+                # which is exactly the patch matrix col2im scatter-adds back.
+                dwin = np.tensordot(g.transpose(0, 2, 3, 1), wd, axes=((3,), (0,)))
+                x_t._accumulate_fresh(
+                    col2im(dwin.reshape(n, oh, ow, -1), xd.shape, (kh, kw), (sh, sw), (ph, pw))
+                )
+
+        return _backward
+
+    return Tensor._make(out, parents, "conv2d", make_backward)
+
+
+# --------------------------------------------------------------------------- #
+# Pooling
+# --------------------------------------------------------------------------- #
+def max_pool2d(
+    x, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0
+) -> Tensor:
+    """Max pooling over NCHW windows; gradient routes to the arg-max element."""
+    x_t = Tensor._wrap(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(kernel_size if stride is None else stride)
+    ph, pw = _pair(padding)
+    _check_pool_padding(kh, kw, ph, pw)
+    xd = x_t.data
+    n, c, h, w = xd.shape
+    oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
+
+    # Pad with -inf so padded positions never win the max.
+    xp = _pad_hw(xd, ph, pw, value=-np.inf)
+    win = _window_view(xp, kh, kw, sh, sw)
+    flat = win.reshape(n, c, oh, ow, kh * kw)  # materializes the windows once
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    out = np.ascontiguousarray(out)
+    xp_shape = xp.shape  # closure needs only the shape, not the padded copy
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            if not x_t.requires_grad:
+                return
+            g = out_t.grad
+            dxp = np.zeros(xp_shape, dtype=xd.dtype)
+            n_i, c_i, oh_i, ow_i = np.ogrid[0:n, 0:c, 0:oh, 0:ow]
+            rows = oh_i * sh + arg // kw
+            cols = ow_i * sw + arg % kw
+            # Scatter-add handles overlapping windows (stride < kernel).
+            np.add.at(dxp, (n_i, c_i, rows, cols), g)
+            if ph or pw:
+                x_t._accumulate_fresh(
+                    np.ascontiguousarray(dxp[:, :, ph : ph + h, pw : pw + w])
+                )
+            else:
+                x_t._accumulate_fresh(dxp)
+
+        return _backward
+
+    return Tensor._make(out, (x_t,), "max_pool2d", make_backward)
+
+
+def avg_pool2d(
+    x, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0
+) -> Tensor:
+    """Average pooling over NCHW windows (padded zeros count toward the mean)."""
+    x_t = Tensor._wrap(x)
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(kernel_size if stride is None else stride)
+    ph, pw = _pair(padding)
+    _check_pool_padding(kh, kw, ph, pw)
+    xd = x_t.data
+    n, c, h, w = xd.shape
+    oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
+
+    xp = _pad_hw(xd, ph, pw)
+    win = _window_view(xp, kh, kw, sh, sw)
+    out = np.ascontiguousarray(win.mean(axis=(4, 5)))
+    inv_area = 1.0 / (kh * kw)
+    xp_shape = xp.shape  # closure needs only the shape, not the padded copy
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            if not x_t.requires_grad:
+                return
+            g = out_t.grad * np.asarray(inv_area, dtype=xd.dtype)
+            # Direct scatter instead of col2im: every patch entry is the same
+            # g value, so materializing the (N,OH,OW,C*kh*kw) matrix would be
+            # pure waste.
+            dxp = np.zeros(xp_shape, dtype=xd.dtype)
+            for i in range(kh):
+                for j in range(kw):
+                    dxp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += g
+            if ph or pw:
+                x_t._accumulate_fresh(
+                    np.ascontiguousarray(dxp[:, :, ph : ph + h, pw : pw + w])
+                )
+            else:
+                x_t._accumulate_fresh(dxp)
+
+        return _backward
+
+    return Tensor._make(out, (x_t,), "avg_pool2d", make_backward)
+
+
+# --------------------------------------------------------------------------- #
+# Softmax family
+# --------------------------------------------------------------------------- #
+def _stable_log_softmax(z: np.ndarray, axis: int) -> np.ndarray:
+    shifted = z - z.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    lse = np.log(e.sum(axis=axis, keepdims=True))
+    shifted -= lse
+    return shifted
+
+
+def softmax(x, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x_t = Tensor._wrap(x)
+    z = x_t.data - x_t.data.max(axis=axis, keepdims=True)
+    np.exp(z, out=z)
+    z /= z.sum(axis=axis, keepdims=True)
+    probs = z  # owned fresh buffer
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            if not x_t.requires_grad:
+                return
+            g = out_t.grad
+            gp = g * probs
+            gp -= probs * gp.sum(axis=axis, keepdims=True)
+            x_t._accumulate_fresh(gp)
+
+        return _backward
+
+    return Tensor._make(probs, (x_t,), "softmax", make_backward)
+
+
+def log_softmax(x, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    x_t = Tensor._wrap(x)
+    logp = _stable_log_softmax(x_t.data, axis)
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            if not x_t.requires_grad:
+                return
+            g = out_t.grad
+            gx = g - np.exp(logp) * g.sum(axis=axis, keepdims=True)
+            x_t._accumulate_fresh(gx)
+
+        return _backward
+
+    return Tensor._make(logp, (x_t,), "log_softmax", make_backward)
+
+
+def softmax_cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
+    """Fused softmax + negative-log-likelihood over ``(batch, classes)`` logits.
+
+    ``targets`` are integer class indices of shape ``(batch,)`` (ndarray or
+    Tensor; never differentiated).  Fusing the two steps keeps the backward
+    pass a single ``probs - onehot`` kernel with no intermediate graph nodes.
+    """
+    if reduction not in ("mean", "sum", "none"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+    x_t = Tensor._wrap(logits)
+    idx = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    idx = idx.astype(np.int64).reshape(-1)
+    if x_t.data.ndim != 2 or idx.shape[0] != x_t.data.shape[0]:
+        raise ValueError("softmax_cross_entropy expects (N, C) logits and (N,) targets")
+    n = idx.shape[0]
+    rows = np.arange(n)
+
+    logp = _stable_log_softmax(x_t.data, axis=-1)
+    losses = -logp[rows, idx]
+    if reduction == "mean":
+        out = losses.mean(dtype=losses.dtype)
+    elif reduction == "sum":
+        out = losses.sum(dtype=losses.dtype)
+    else:
+        out = losses
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            if not x_t.requires_grad:
+                return
+            g = out_t.grad
+            d = np.exp(logp)  # probs, fresh buffer we can scale in place
+            if reduction == "none":
+                scale = g.reshape(-1, 1)
+                d[rows, idx] -= 1.0
+                d *= scale
+            else:
+                d[rows, idx] -= 1.0
+                scale = float(g) / n if reduction == "mean" else float(g)
+                d *= np.asarray(scale, dtype=d.dtype)
+            x_t._accumulate_fresh(d)
+
+        return _backward
+
+    return Tensor._make(np.asarray(out), (x_t,), "softmax_cross_entropy", make_backward)

@@ -1,0 +1,60 @@
+"""Tests for the finite-difference checking utilities themselves."""
+
+import numpy as np
+
+from repro.autograd import Tensor, check_gradients, numerical_gradient
+
+
+def test_numerical_gradient_of_quadratic():
+    x = np.array([[1.0, -2.0], [0.5, 3.0]])
+    grad = numerical_gradient(lambda a: float((a ** 2).sum()), x)
+    np.testing.assert_allclose(grad, 2 * x, rtol=1e-7)
+
+
+def test_numerical_gradient_is_float64_and_nonmutating():
+    x = np.array([1.0, 2.0], dtype=np.float32)
+    original = x.copy()
+    grad = numerical_gradient(lambda a: float((a ** 3).sum()), x)
+    assert grad.dtype == np.float64
+    np.testing.assert_array_equal(x, original)
+
+
+def test_check_gradients_passes_on_correct_graph():
+    x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True, dtype=np.float64)
+    result = check_gradients(lambda a: (a * a).sum(), [x])
+    assert result.ok
+    assert result.entries[0]["passed"]
+    assert bool(result)
+
+
+def test_check_gradients_detects_wrong_gradient():
+    """detach() silently drops half the gradient; the checker must notice."""
+    x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True, dtype=np.float64)
+    result = check_gradients(lambda a: (a * a.detach()).sum(), [x])
+    assert not result.ok
+
+
+def test_check_gradients_skips_non_grad_inputs():
+    x = Tensor(np.array([1.0, 2.0]), requires_grad=True, dtype=np.float64)
+    c = Tensor(np.array([3.0, 4.0]), dtype=np.float64)
+    result = check_gradients(lambda a, b: (a * b).sum(), [x, c])
+    assert result.ok
+    assert [e["input"] for e in result.entries] == [0]
+
+
+def test_check_gradients_seed_grad_weights_the_objective():
+    x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True, dtype=np.float64)
+    seed = np.array([2.0, 0.0, -1.0])
+    result = check_gradients(lambda a: a * a, [x], seed_grad=seed)
+    assert result.ok
+    np.testing.assert_allclose(x.grad, 2 * x.data * seed)
+    with np.testing.assert_raises(ValueError):
+        check_gradients(lambda a: a * a, [x], seed_grad=np.ones(5))
+
+
+def test_check_gradients_restores_input_data():
+    data = np.array([1.0, 2.0])
+    x = Tensor(data, requires_grad=True, dtype=np.float64)
+    before = x.data.copy()
+    check_gradients(lambda a: (a ** 2.0).sum(), [x])
+    np.testing.assert_array_equal(x.data, before)
