@@ -17,6 +17,15 @@ Workloads
 ``conv``
     conv2d → relu → max_pool2d → flatten → linear → cross-entropy on the new
     engine only (the seed engine has no dense spatial kernels).
+``nn_mlp``
+    The same MLP training step (forward + backward + SGD update) expressed
+    through ``repro.nn`` modules (``Sequential`` + ``nn.optim.SGD``) vs.
+    hand-rolled ``functional`` calls with manual parameter updates — measures
+    the overhead the Module/optimizer layer adds over raw kernels.
+``tbnet``
+    A full ``repro.models.TBNet`` two-branch train step (conv + batch-norm +
+    dropout branches, fused head, Adam) on synthetic data — the reference
+    model's end-to-end step time.
 
 Usage::
 
@@ -44,8 +53,10 @@ for _p in (os.path.join(_ROOT, "src"), _ROOT):
         sys.path.insert(0, _p)
 
 from benchmarks import _seed_tensor as seed_engine  # noqa: E402
+from repro import nn  # noqa: E402
 from repro.autograd import Tensor as NewTensor  # noqa: E402
 from repro.autograd import functional as F  # noqa: E402
+from repro.models import TBNet, make_synthetic_batch  # noqa: E402
 
 SeedTensor = seed_engine.Tensor
 
@@ -143,6 +154,61 @@ def build_conv_step(batch: int, rng: np.random.Generator) -> Callable[[], float]
     return step
 
 
+def build_nn_mlp_step(path: str, batch: int, dims: List[int], rng: np.random.Generator, lr: float = 0.01) -> Callable[[], float]:
+    """Same MLP train step via ``repro.nn`` modules or hand-rolled kernels."""
+    x_np = rng.standard_normal((batch, dims[0])).astype(np.float32)
+    y_np = rng.integers(0, dims[-1], batch)
+
+    if path == "module":
+        layers: List[nn.Module] = []
+        for i, (fan_in, fan_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(nn.Linear(fan_in, fan_out, rng=rng))
+            if i < len(dims) - 2:
+                layers.append(nn.ReLU())
+        model = nn.Sequential(*layers)
+        opt = nn.optim.SGD(model.parameters(), lr=lr)
+
+        def step() -> float:
+            loss = F.softmax_cross_entropy(model(NewTensor(x_np)), y_np)
+            loss.backward()
+            opt.step()
+            opt.zero_grad()
+            return float(loss.data)
+
+        return step
+
+    params = _init_mlp_params(NewTensor, dims, rng)
+
+    def step() -> float:
+        h = NewTensor(x_np)
+        for i, (w, b) in enumerate(params):
+            h = F.linear(h, w, b)
+            if i < len(params) - 1:
+                h = h.relu()
+        loss = F.softmax_cross_entropy(h, y_np)
+        loss.backward()
+        for w, b in params:
+            w.data -= lr * w.grad
+            b.data -= lr * b.grad
+            w.zero_grad()
+            b.zero_grad()
+        return float(loss.data)
+
+    return step
+
+
+def build_tbnet_step(batch: int, rng: np.random.Generator) -> Callable[[], float]:
+    """Full two-branch reference-model train step with Adam."""
+    model = TBNet(width=16, rng=rng)
+    opt = nn.optim.Adam(model.parameters(), lr=1e-3)
+    images, context, targets = make_synthetic_batch(batch, rng=rng)
+
+    def step() -> float:
+        return model.train_step(opt, images, context, targets)
+
+    return step
+
+
 # --------------------------------------------------------------------------- #
 # Timing
 # --------------------------------------------------------------------------- #
@@ -209,6 +275,21 @@ def main(argv=None) -> int:
     results.append(rec)
     print(f"conv     repro batch={conv_batch:<4d} {rec['per_step_ms']:8.3f} ms/step")
 
+    for batch in batches:
+        for path in ("functional", "module"):
+            step = build_nn_mlp_step(path, batch, mlp_dims, np.random.default_rng(4000 + batch))
+            rec = {"workload": "nn_mlp", "engine": path, "batch": batch}
+            rec.update(time_step(step, repeats, inner, warmup))
+            results.append(rec)
+            print(f"nn_mlp   {path:10s} batch={batch:<4d} {rec['per_step_ms']:8.3f} ms/step")
+
+    tbnet_batch = batches[0] if quick else 64
+    step = build_tbnet_step(tbnet_batch, np.random.default_rng(5000 + tbnet_batch))
+    rec = {"workload": "tbnet", "engine": "module", "batch": tbnet_batch}
+    rec.update(time_step(step, repeats, max(1, inner // 2), warmup))
+    results.append(rec)
+    print(f"tbnet    module batch={tbnet_batch:<4d} {rec['per_step_ms']:8.3f} ms/step")
+
     speedups = {}
     for workload in ("mlp", "reduction"):
         for batch in batches:
@@ -219,6 +300,19 @@ def main(argv=None) -> int:
             }
             if "seed" in times and "repro" in times:
                 speedups[f"{workload}/batch{batch}"] = times["seed"] / times["repro"]
+    # Module-vs-functional ratios are overhead measurements, not seed-engine
+    # speedups, so they live under their own key: the ROADMAP's "beat the
+    # speedups" rule must not treat them as a perf trajectory.
+    overhead = {}
+    for batch in batches:
+        times = {
+            r["engine"]: r["per_step_ms"]
+            for r in results
+            if r["workload"] == "nn_mlp" and r["batch"] == batch
+        }
+        if "functional" in times and "module" in times:
+            # >= 1.0 means the Module layer is free; < 1.0 is its overhead.
+            overhead[f"nn_mlp/batch{batch}"] = times["functional"] / times["module"]
 
     report = {
         "schema": "bench_autograd/v1",
@@ -237,12 +331,15 @@ def main(argv=None) -> int:
         },
         "results": results,
         "speedups": speedups,
+        "overhead": overhead,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
     print(f"\nwrote {args.output}")
     for key, value in sorted(speedups.items()):
         print(f"  speedup {key}: {value:.2f}x")
+    for key, value in sorted(overhead.items()):
+        print(f"  overhead {key}: {value:.2f}x (functional/module)")
     return 0
 
 

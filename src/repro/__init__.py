@@ -3,6 +3,10 @@
 Layers:
 
 - :mod:`repro.autograd` — the define-by-run tape engine and dense kernels.
+- :mod:`repro.nn` — Module/Parameter containers, layers, init schemes and
+  optimizers over the fused kernels.
+- :mod:`repro.models` — reference models; :class:`~repro.models.tbnet.TBNet`
+  is the paper's two-branch network.
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"

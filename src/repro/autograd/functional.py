@@ -36,6 +36,8 @@ __all__ = [
     "softmax",
     "log_softmax",
     "softmax_cross_entropy",
+    "batch_norm",
+    "dropout",
 ]
 
 IntPair = Union[int, Tuple[int, int]]
@@ -332,6 +334,142 @@ def avg_pool2d(
         return _backward
 
     return Tensor._make(out, (x_t,), "avg_pool2d", make_backward)
+
+
+# --------------------------------------------------------------------------- #
+# Normalization and regularization
+# --------------------------------------------------------------------------- #
+def batch_norm(
+    x,
+    weight=None,
+    bias=None,
+    running_mean: Optional[np.ndarray] = None,
+    running_var: Optional[np.ndarray] = None,
+    training: bool = True,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over the channel axis (axis 1) as one tape node.
+
+    Works for any ``(N, C, ...)`` layout: statistics are reduced over every
+    axis except the channel axis, so the same kernel serves ``BatchNorm1d``
+    (``(N, C)``) and ``BatchNorm2d`` (``(N, C, H, W)``).
+
+    In training mode the batch statistics normalize the input and, when
+    ``running_mean`` / ``running_var`` arrays are supplied, they are updated
+    **in place** with an exponential moving average (``momentum`` weighting
+    the new observation; the variance update uses the unbiased estimator,
+    matching PyTorch).  In eval mode the running statistics normalize the
+    input and are never touched; if none were supplied the batch statistics
+    are used as a fallback.
+
+    ``weight`` (gamma) and ``bias`` (beta) are optional ``(C,)`` tensors for
+    the affine transform; either may be ``None``.
+    """
+    x_t = Tensor._wrap(x)
+    w_t = Tensor._wrap(weight) if weight is not None else None
+    b_t = Tensor._wrap(bias) if bias is not None else None
+
+    xd = x_t.data
+    if xd.ndim < 2:
+        raise ValueError("batch_norm expects input of shape (N, C, ...)")
+    c = xd.shape[1]
+    for name, t in (("weight", w_t), ("bias", b_t)):
+        if t is not None and t.data.shape != (c,):
+            raise ValueError(f"batch_norm {name} must have shape ({c},), got {t.data.shape}")
+    axes = (0,) + tuple(range(2, xd.ndim))
+    bshape = (1, c) + (1,) * (xd.ndim - 2)
+    m = xd.size // c  # elements per channel
+
+    use_batch_stats = training or running_mean is None or running_var is None
+    if use_batch_stats:
+        mean = xd.mean(axis=axes)
+        var = xd.var(axis=axes)
+    else:
+        mean = np.asarray(running_mean, dtype=xd.dtype)
+        var = np.asarray(running_var, dtype=xd.dtype)
+
+    if training and running_mean is not None and running_var is not None:
+        # Unbiased variance for the running estimate (biased for normalization).
+        unbiased = var * (m / (m - 1)) if m > 1 else var
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean.astype(running_mean.dtype)
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased.astype(running_var.dtype)
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (xd - mean.reshape(bshape)) * inv_std.reshape(bshape)
+    out = xhat
+    if w_t is not None:
+        out = out * w_t.data.reshape(bshape)
+    if b_t is not None:
+        out = out + b_t.data.reshape(bshape)
+    if out is xhat:
+        out = out.copy()  # never hand the saved xhat buffer to the caller
+
+    parents = tuple(t for t in (x_t, w_t, b_t) if t is not None)
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            g = out_t.grad
+            if b_t is not None and b_t.requires_grad:
+                b_t._accumulate_fresh(g.sum(axis=axes))
+            if w_t is not None and w_t.requires_grad:
+                w_t._accumulate_fresh((g * xhat).sum(axis=axes))
+            if not x_t.requires_grad:
+                return
+            dxhat = g * w_t.data.reshape(bshape) if w_t is not None else g
+            if use_batch_stats:
+                # Batch statistics depend on x: the full three-term adjoint.
+                mean_dxhat = dxhat.mean(axis=axes).reshape(bshape)
+                mean_dxhat_xhat = (dxhat * xhat).mean(axis=axes).reshape(bshape)
+                dx = (dxhat - mean_dxhat - xhat * mean_dxhat_xhat) * inv_std.reshape(bshape)
+                x_t._accumulate_fresh(dx)
+            else:
+                # Running statistics are constants: pure elementwise scaling.
+                x_t._accumulate_fresh(dxhat * inv_std.reshape(bshape))
+
+        return _backward
+
+    return Tensor._make(out, parents, "batch_norm", make_backward)
+
+
+def dropout(
+    x,
+    p: float = 0.5,
+    training: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p`` in training.
+
+    Kept elements are scaled by ``1 / (1 - p)`` so activations keep their
+    expected magnitude and eval needs no rescaling.  In eval mode (or with
+    ``p == 0``) the input tensor is returned unchanged — no mask, no tape
+    node.  The mask is drawn from the explicit ``rng`` generator when given.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1], got {p}")
+    x_t = Tensor._wrap(x)
+    if not training or p == 0.0:
+        return x_t
+
+    xd = x_t.data
+    if p == 1.0:
+        mask = np.zeros(xd.shape, dtype=xd.dtype)
+    else:
+        rng = rng if rng is not None else np.random.default_rng()
+        keep = rng.random(xd.shape) >= p
+        mask = keep.astype(xd.dtype)
+        mask /= np.asarray(1.0 - p, dtype=xd.dtype)
+
+    def make_backward(out_t: Tensor):
+        def _backward() -> None:
+            if x_t.requires_grad:
+                x_t._accumulate_fresh(out_t.grad * mask)
+
+        return _backward
+
+    return Tensor._make(xd * mask, (x_t,), "dropout", make_backward)
 
 
 # --------------------------------------------------------------------------- #

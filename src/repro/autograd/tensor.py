@@ -704,15 +704,62 @@ class Tensor:
                 node._prev = ()
 
     # Convenience constructors -------------------------------------------------
+    #
+    # All constructors accept the shape either splatted (``Tensor.zeros(3, 4)``)
+    # or as a single tuple (``Tensor.zeros((3, 4))``), default to float32
+    # storage, and take ``requires_grad``/``dtype`` keywords.  The random
+    # constructors are seeded through an **explicit**
+    # :class:`numpy.random.Generator` (``rng=``) so model initialisation is
+    # reproducible without touching numpy's global state; ``rng=None`` falls
+    # back to a fresh unseeded generator.
     @staticmethod
-    def zeros(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+    def _splat_shape(shape: Tuple) -> Tuple[int, ...]:
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            return tuple(int(s) for s in shape[0])
+        return tuple(int(s) for s in shape)
 
     @staticmethod
-    def ones(shape: Tuple[int, ...], requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+    def zeros(*shape, dtype=None, requires_grad: bool = False) -> "Tensor":
+        """All-zeros tensor; shape splatted or as one tuple."""
+        data = np.zeros(Tensor._splat_shape(shape), dtype=dtype or np.float32)
+        return Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
 
     @staticmethod
-    def randn(*shape: int, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> "Tensor":
-        rng = rng or np.random.default_rng()
-        return Tensor(rng.standard_normal(shape).astype(np.float32), requires_grad=requires_grad)
+    def ones(*shape, dtype=None, requires_grad: bool = False) -> "Tensor":
+        """All-ones tensor; shape splatted or as one tuple."""
+        data = np.ones(Tensor._splat_shape(shape), dtype=dtype or np.float32)
+        return Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
+
+    @staticmethod
+    def full(shape, fill_value: float, dtype=None, requires_grad: bool = False) -> "Tensor":
+        """Constant tensor of ``shape`` (int or tuple) filled with ``fill_value``."""
+        if isinstance(shape, numbers.Integral):
+            shape = (int(shape),)
+        data = np.full(tuple(shape), fill_value, dtype=dtype or np.float32)
+        return Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
+
+    @staticmethod
+    def randn(
+        *shape,
+        rng: Optional[np.random.Generator] = None,
+        dtype=None,
+        requires_grad: bool = False,
+    ) -> "Tensor":
+        """Standard-normal tensor drawn from ``rng`` (or a fresh generator)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        data = rng.standard_normal(Tensor._splat_shape(shape)).astype(dtype or np.float32)
+        return Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
+
+    @staticmethod
+    def uniform(
+        *shape,
+        low: float = 0.0,
+        high: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        dtype=None,
+        requires_grad: bool = False,
+    ) -> "Tensor":
+        """Uniform ``[low, high)`` tensor drawn from ``rng`` (or a fresh generator)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        data = rng.uniform(low, high, Tensor._splat_shape(shape)).astype(dtype or np.float32)
+        return Tensor(data, requires_grad=requires_grad, dtype=data.dtype)

@@ -1,0 +1,8 @@
+"""Reference models composed from :mod:`repro.nn` layers.
+
+Currently :class:`~repro.models.tbnet.TBNet`, the paper's two-branch network.
+"""
+
+from repro.models.tbnet import TBNet, make_synthetic_batch
+
+__all__ = ["TBNet", "make_synthetic_batch"]

@@ -1,0 +1,47 @@
+"""Neural-network layer package: modules, layers, init schemes, optimizers.
+
+The package follows the torch split: :class:`Module`/:class:`Parameter`
+containers in :mod:`repro.nn.module`, stateful layers over the fused kernels
+in :mod:`repro.nn.layers`, initialisation schemes in :mod:`repro.nn.init` and
+optimizers in :mod:`repro.nn.optim`.  A model is a ``Module`` subclass (or a
+:class:`Sequential` chain), trained with::
+
+    model = nn.Sequential(nn.Linear(64, 32), nn.ReLU(), nn.Linear(32, 10))
+    opt = nn.optim.Adam(model.parameters(), lr=1e-3)
+    loss = F.softmax_cross_entropy(model(x), y)
+    loss.backward()
+    opt.step()
+    opt.zero_grad()
+"""
+
+from repro.nn import init, optim
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Dropout",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Sequential",
+    "init",
+    "optim",
+]

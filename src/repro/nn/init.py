@@ -1,0 +1,98 @@
+"""Weight-initialisation schemes for :mod:`repro.nn` layers.
+
+All schemes are backed by the seedable :class:`~repro.autograd.tensor.Tensor`
+constructors (``Tensor.randn`` / ``Tensor.uniform``) and take an explicit
+:class:`numpy.random.Generator`.  When no generator is passed they draw from a
+module-level default that :func:`manual_seed` resets, so a whole model can be
+made deterministic with one call without threading generators through every
+layer.
+
+Fan sizes are explicit arguments rather than inferred from the shape: the
+repo stores ``Linear`` weights as ``(in_features, out_features)`` and conv
+weights as ``(out_c, in_c, kh, kw)``, and an explicit ``fan_in`` cannot be
+silently wrong when a new layout appears.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = [
+    "manual_seed",
+    "default_rng",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+]
+
+_default_rng = np.random.default_rng()
+
+
+def manual_seed(seed: int) -> np.random.Generator:
+    """Reset the default generator used when layers get no explicit ``rng``."""
+    global _default_rng
+    _default_rng = np.random.default_rng(seed)
+    return _default_rng
+
+
+def default_rng() -> np.random.Generator:
+    """The generator initialisation falls back to (see :func:`manual_seed`)."""
+    return _default_rng
+
+
+def _resolve(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else _default_rng
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    rng: Optional[np.random.Generator] = None,
+    dtype=None,
+) -> Tensor:
+    """He-et-al normal init for ReLU networks: ``N(0, 2 / fan_in)``."""
+    t = Tensor.randn(shape, rng=_resolve(rng), dtype=dtype)
+    t.data *= np.asarray(math.sqrt(2.0 / fan_in), dtype=t.data.dtype)
+    return t
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    rng: Optional[np.random.Generator] = None,
+    dtype=None,
+) -> Tensor:
+    """He-et-al uniform init for ReLU networks: ``U(±sqrt(6 / fan_in))``."""
+    bound = math.sqrt(6.0 / fan_in)
+    return Tensor.uniform(shape, low=-bound, high=bound, rng=_resolve(rng), dtype=dtype)
+
+
+def xavier_normal(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: Optional[np.random.Generator] = None,
+    dtype=None,
+) -> Tensor:
+    """Glorot normal init: ``N(0, 2 / (fan_in + fan_out))``."""
+    t = Tensor.randn(shape, rng=_resolve(rng), dtype=dtype)
+    t.data *= np.asarray(math.sqrt(2.0 / (fan_in + fan_out)), dtype=t.data.dtype)
+    return t
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: Optional[np.random.Generator] = None,
+    dtype=None,
+) -> Tensor:
+    """Glorot uniform init: ``U(±sqrt(6 / (fan_in + fan_out)))``."""
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor.uniform(shape, low=-bound, high=bound, rng=_resolve(rng), dtype=dtype)

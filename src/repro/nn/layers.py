@@ -1,0 +1,282 @@
+"""Stateful layers over the fused kernels in :mod:`repro.autograd.functional`.
+
+Every layer is a thin :class:`~repro.nn.module.Module` that owns its
+parameters/buffers and forwards to exactly one functional kernel, so a layer's
+forward+backward cost is that of the kernel — the module system adds no tape
+nodes.  Layouts match the kernels: ``Linear`` weights are ``(in_features,
+out_features)``, conv weights are ``(out_c, in_c, kh, kw)``, images are NCHW.
+
+All layers with weights accept an explicit ``rng`` (a
+:class:`numpy.random.Generator`) for reproducible initialisation; the default
+draws from :func:`repro.nn.init.manual_seed`'s generator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "Dropout",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Sequential",
+]
+
+
+class Linear(Module):
+    """Affine map ``x @ weight + bias`` with weight ``(in_features, out_features)``.
+
+    ``bias=False`` drops the bias entirely: no parameter is created and
+    ``None`` is routed through :func:`repro.autograd.functional.linear`.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(
+            init.kaiming_uniform((self.in_features, self.out_features), fan_in=self.in_features, rng=rng)
+        )
+        self.bias = Parameter(Tensor.zeros(self.out_features)) if bias else None
+
+    def forward(self, x) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}, {self.out_features}, bias={self.bias is not None}"
+
+
+class Conv2d(Module):
+    """2-D convolution (cross-correlation) over NCHW with OIHW weights."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        kh, kw = F._pair(kernel_size)
+        self.kernel_size = (kh, kw)
+        self.stride = F._pair(stride)
+        self.padding = F._pair(padding)
+        fan_in = self.in_channels * kh * kw
+        self.weight = Parameter(
+            init.kaiming_uniform((self.out_channels, self.in_channels, kh, kw), fan_in=fan_in, rng=rng)
+        )
+        self.bias = Parameter(Tensor.zeros(self.out_channels)) if bias else None
+
+    def forward(self, x) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, bias={self.bias is not None}"
+        )
+
+
+class _BatchNorm(Module):
+    """Shared batch-norm machinery; subclasses only pin the expected rank."""
+
+    _expected_ndim: Optional[int] = None
+
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        affine: bool = True,
+        track_running_stats: bool = True,
+    ) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.affine = bool(affine)
+        self.track_running_stats = bool(track_running_stats)
+        if affine:
+            self.weight = Parameter(Tensor.ones(self.num_features))
+            self.bias = Parameter(Tensor.zeros(self.num_features))
+        else:
+            self.weight = None
+            self.bias = None
+        if track_running_stats:
+            self.register_buffer("running_mean", np.zeros(self.num_features, dtype=np.float32))
+            self.register_buffer("running_var", np.ones(self.num_features, dtype=np.float32))
+            # Not consumed by the kernel (momentum is always a float here);
+            # kept as the observable train-step counter and for checkpoint
+            # layout parity with torch batch-norm state_dicts.
+            self.register_buffer("num_batches_tracked", np.zeros((), dtype=np.int64))
+
+    def forward(self, x) -> Tensor:
+        x_t = Tensor._wrap(x)
+        if self._expected_ndim is not None and x_t.data.ndim != self._expected_ndim:
+            raise ValueError(
+                f"{type(self).__name__} expects {self._expected_ndim}-D input, "
+                f"got {x_t.data.ndim}-D"
+            )
+        if x_t.data.shape[1] != self.num_features:
+            raise ValueError(
+                f"{type(self).__name__}({self.num_features}) got input with "
+                f"{x_t.data.shape[1]} channels"
+            )
+        track = self.track_running_stats
+        if self.training and track:
+            self.num_batches_tracked += 1
+        return F.batch_norm(
+            x_t,
+            self.weight,
+            self.bias,
+            self.running_mean if track else None,
+            self.running_var if track else None,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.num_features}, eps={self.eps}, momentum={self.momentum}, "
+            f"affine={self.affine}, track_running_stats={self.track_running_stats}"
+        )
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over ``(N, C)`` feature batches."""
+
+    _expected_ndim = 2
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over ``(N, C, H, W)`` image batches."""
+
+    _expected_ndim = 4
+
+
+class Dropout(Module):
+    """Inverted dropout; identity (and tape-free) in eval mode.
+
+    An explicit ``rng`` makes the mask sequence reproducible; the default
+    draws from :func:`repro.nn.init.manual_seed`'s generator.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1], got {p}")
+        self.p = float(p)
+        self.rng = rng
+
+    def forward(self, x) -> Tensor:
+        rng = self.rng if self.rng is not None else init.default_rng()
+        return F.dropout(x, p=self.p, training=self.training, rng=rng)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class ReLU(Module):
+    """Elementwise ``max(x, 0)``."""
+
+    def forward(self, x) -> Tensor:
+        return Tensor._wrap(x).relu()
+
+
+class _Pool2d(Module):
+    """Shared pooling config; subclasses pin the functional kernel."""
+
+    _kernel = None  # staticmethod set by subclasses
+
+    def __init__(self, kernel_size, stride=None, padding=0) -> None:
+        super().__init__()
+        self.kernel_size = F._pair(kernel_size)
+        self.stride = F._pair(kernel_size if stride is None else stride)
+        self.padding = F._pair(padding)
+
+    def forward(self, x) -> Tensor:
+        return type(self)._kernel(x, self.kernel_size, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class MaxPool2d(_Pool2d):
+    """Max pooling over NCHW windows."""
+
+    _kernel = staticmethod(F.max_pool2d)
+
+
+class AvgPool2d(_Pool2d):
+    """Average pooling over NCHW windows."""
+
+    _kernel = staticmethod(F.avg_pool2d)
+
+
+class Flatten(Module):
+    """Collapse all dimensions from ``start_dim`` onward."""
+
+    def __init__(self, start_dim: int = 1) -> None:
+        super().__init__()
+        self.start_dim = int(start_dim)
+
+    def forward(self, x) -> Tensor:
+        return Tensor._wrap(x).flatten(self.start_dim)
+
+    def extra_repr(self) -> str:
+        return f"start_dim={self.start_dim}"
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output to the next layer's input."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
+            modules = tuple(modules[0])
+        self.layers = list(modules)
+
+    def forward(self, x) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def append(self, module: Module) -> "Sequential":
+        self.layers.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Sequential(*self.layers[index])
+        return self.layers[index]

@@ -1,0 +1,231 @@
+"""Parameter and Module containers for the layer stack.
+
+A :class:`Parameter` is a :class:`~repro.autograd.tensor.Tensor` that always
+requires grad; a :class:`Module` is a stateful object whose attributes are
+scanned recursively to discover parameters, buffers and child modules.  The
+discovery walk covers plain attributes **and** lists/tuples of modules or
+parameters (``self.layers = [Linear(...), ...]`` just works), in attribute
+insertion order, so ``state_dict()`` names are deterministic.
+
+Buffers are plain numpy arrays registered with :meth:`Module.register_buffer`
+— state that belongs to the model but is not trained (batch-norm running
+statistics).  They live in checkpoints alongside parameters and are updated
+in place by the kernels that own them.
+
+Checkpointing is plain-numpy: :meth:`Module.state_dict` maps dotted names to
+array copies and :meth:`Module.load_state_dict` copies them back in place, so
+a round trip is bit-exact and a checkpoint is just ``np.savez`` away.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+# Attributes of Module itself that the discovery walk must skip.
+_INTERNAL_ATTRS = ("training", "_buffers")
+
+
+class Parameter(Tensor):
+    """A tensor that is trained: ``requires_grad`` is always ``True``.
+
+    Accepts raw arrays (converted to float32 by default, like ``Tensor``) or
+    an existing :class:`Tensor` (e.g. the output of an :mod:`repro.nn.init`
+    scheme), whose storage — including its dtype — is adopted without a copy.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, data, dtype=None) -> None:
+        if isinstance(data, Tensor):
+            if dtype is None:
+                dtype = data.data.dtype  # adopt, don't downcast to float32
+            data = data.data
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(shape={self.shape}, dtype={self.dtype})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses call ``super().__init__()`` first, assign :class:`Parameter`,
+    child ``Module`` and buffer attributes, and implement :meth:`forward`.
+    Everything else — parameter iteration, train/eval mode, checkpointing —
+    is derived from the attribute scan.
+    """
+
+    def __init__(self) -> None:
+        self.training: bool = True
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Forward dispatch
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(f"{type(self).__name__} does not implement forward()")
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Buffers
+    # ------------------------------------------------------------------ #
+    def register_buffer(self, name: str, array) -> None:
+        """Register non-trained state (kept in ``state_dict``, never in grads)."""
+        if "_buffers" not in self.__dict__:
+            raise RuntimeError("call Module.__init__() before registering buffers")
+        self._buffers[name] = np.asarray(array)
+
+    def __getattr__(self, name: str):
+        buffers = self.__dict__.get("_buffers")
+        if buffers is not None and name in buffers:
+            return buffers[name]
+        raise AttributeError(f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def __setattr__(self, name: str, value) -> None:
+        buffers = self.__dict__.get("_buffers")
+        if buffers is not None and name in buffers:
+            # Keep the registered dtype: kernels update buffers in place and
+            # a bare list/int assignment must not flip them to int64/float64.
+            buffers[name] = np.asarray(value, dtype=buffers[name].dtype)
+        else:
+            object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Discovery walk
+    # ------------------------------------------------------------------ #
+    def _children(self) -> Iterator[Tuple[str, Union[Parameter, "Module"]]]:
+        """Yield ``(name, value)`` for every directly held Parameter/Module.
+
+        Lists and tuples are flattened one level with the index as the name
+        component, mirroring an implicit ``ModuleList``.
+        """
+        for name, value in self.__dict__.items():
+            if name in _INTERNAL_ATTRS:
+                continue
+            if isinstance(value, (Parameter, Module)):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, (Parameter, Module)):
+                        yield f"{name}.{index}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in self._children():
+            full = prefix + name
+            if isinstance(value, Parameter):
+                yield full, value
+            else:
+                yield from value.named_parameters(prefix=full + ".")
+
+    def parameters(self) -> List[Parameter]:
+        """All unique parameters (shared parameters are yielded once)."""
+        seen: set = set()
+        out: List[Parameter] = []
+        for _, p in self.named_parameters():
+            if id(p) not in seen:
+                seen.add(id(p))
+                out.append(p)
+        return out
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, value in self._children():
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=prefix + name + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, array in self._buffers.items():
+            yield prefix + name, array
+        for name, value in self._children():
+            if isinstance(value, Module):
+                yield from value.named_buffers(prefix=prefix + name + ".")
+
+    # ------------------------------------------------------------------ #
+    # Training state
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        """Recursively set training mode (affects BatchNorm and Dropout)."""
+        self.training = bool(mode)
+        for _, value in self._children():
+            if isinstance(value, Module):
+                value.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Dotted-name → array-copy snapshot of all parameters and buffers."""
+        state: Dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            state[name] = p.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Copy a :meth:`state_dict` snapshot back into this module, in place.
+
+        Arrays are copied into the existing parameter/buffer storage (no
+        object replacement), so aliases held by optimizers or closures stay
+        valid.  With ``strict`` (the default) missing or unexpected keys
+        raise.
+        """
+        own: Dict[str, np.ndarray] = {}
+        for name, p in self.named_parameters():
+            own[name] = p.data
+        for name, buf in self.named_buffers():
+            own[name] = buf
+        if strict:
+            missing = sorted(set(own) - set(state))
+            unexpected = sorted(set(state) - set(own))
+            if missing or unexpected:
+                raise KeyError(
+                    f"state_dict mismatch: missing keys {missing}, unexpected keys {unexpected}"
+                )
+        for name, target in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name])
+            if value.shape != target.shape:
+                raise ValueError(
+                    f"state_dict entry {name!r} has shape {value.shape}, expected {target.shape}"
+                )
+            np.copyto(target, value, casting="same_kind")
+
+    # ------------------------------------------------------------------ #
+    # Repr
+    # ------------------------------------------------------------------ #
+    def extra_repr(self) -> str:
+        """One-line config summary shown in :func:`repr`; override in layers."""
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        children = [(n, v) for n, v in self._children() if isinstance(v, Module)]
+        if not children:
+            return lines[0] + ")"
+        for name, child in children:
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Optimizers updating :class:`~repro.nn.module.Parameter` storage in place.
+
+Updates mutate ``param.data`` buffers directly with in-place numpy ops, so no
+autograd graph is recorded and aliases of the parameter (in closures, in other
+modules) see the new values.  State buffers (momentum, Adam moments) are
+allocated lazily on the first step that sees a gradient and keyed by position,
+so parameters that never receive gradients cost nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the learning rate."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float) -> None:
+        seen: set = set()
+        self.params: List[Tensor] = []
+        for p in params:
+            if not isinstance(p, Tensor):
+                raise TypeError(f"optimizer got a non-Tensor parameter: {type(p).__name__}")
+            if not p.requires_grad:
+                continue  # frozen parameter (fine-tuning): nothing to update
+            if id(p) not in seen:  # shared parameters must be stepped once
+                seen.add(id(p))
+                self.params.append(p)
+        if not self.params:
+            raise ValueError("optimizer got no trainable parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum, weight decay and Nesterov.
+
+    Matches PyTorch's formulation (dampening 0): ``v = momentum * v + g`` and
+    the update uses ``v`` (or ``g + momentum * v`` for Nesterov), with weight
+    decay folded into ``g`` as L2 regularisation.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if momentum < 0.0 or weight_decay < 0.0:
+            raise ValueError("momentum and weight_decay must be non-negative")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            g = p.grad
+            if g is None:
+                continue
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data  # fresh buffer; p.grad untouched
+            if self.momentum:
+                v = self._velocity[i]
+                if v is None:
+                    v = self._velocity[i] = np.array(g, dtype=p.data.dtype)
+                else:
+                    v *= self.momentum
+                    v += g
+                g = g + self.momentum * v if self.nesterov else v
+            p.data -= np.asarray(self.lr, dtype=p.data.dtype) * g
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m: List[Optional[np.ndarray]] = [None] * len(self.params)
+        self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bc1 = 1.0 - self.beta1 ** t
+        bc2 = 1.0 - self.beta2 ** t
+        for i, p in enumerate(self.params):
+            g = p.grad
+            if g is None:
+                continue
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m, v = self._m[i], self._v[i]
+            if m is None:
+                m = self._m[i] = np.zeros_like(p.data)
+                v = self._v[i] = np.zeros_like(p.data)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(g)
+            denom = np.sqrt(v / bc2)
+            denom += self.eps
+            p.data -= np.asarray(self.lr / bc1, dtype=p.data.dtype) * m / denom

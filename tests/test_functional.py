@@ -255,6 +255,135 @@ def test_bias_shape_is_validated():
 
 
 # --------------------------------------------------------------------------- #
+# bias=None end-to-end (regression: no-bias path must build a 2-parent node)
+# --------------------------------------------------------------------------- #
+def test_linear_no_bias_gradients():
+    x, w = t64((6, 5)), t64((5, 4))
+    out = F.linear(x, w, None)
+    np.testing.assert_allclose(out.data, x.data @ w.data, rtol=1e-12)
+    assert len(out._prev) == 2
+    assert check_gradients(lambda x, w: F.linear(x, w, None), [x, w]).ok
+
+
+def test_conv2d_no_bias_gradients():
+    x, w = t64((2, 3, 5, 5)), t64((4, 3, 3, 3), scale=0.5)
+    assert check_gradients(lambda x, w: F.conv2d(x, w, None, padding=1), [x, w]).ok
+
+
+# --------------------------------------------------------------------------- #
+# batch_norm
+# --------------------------------------------------------------------------- #
+def batch_norm_ref(x, w, b, mean, var, eps):
+    bshape = (1, x.shape[1]) + (1,) * (x.ndim - 2)
+    out = (x - mean.reshape(bshape)) / np.sqrt(var.reshape(bshape) + eps)
+    if w is not None:
+        out = out * w.reshape(bshape)
+    if b is not None:
+        out = out + b.reshape(bshape)
+    return out
+
+
+def test_batch_norm_train_forward_matches_reference():
+    x = t64((4, 3, 5, 5))
+    w, b = t64((3,)), t64((3,))
+    axes = (0, 2, 3)
+    expected = batch_norm_ref(
+        x.data, w.data, b.data, x.data.mean(axis=axes), x.data.var(axis=axes), 1e-5
+    )
+    np.testing.assert_allclose(F.batch_norm(x, w, b, training=True).data, expected, rtol=1e-10)
+
+
+def test_batch_norm_eval_uses_running_stats():
+    x = t64((4, 3, 5, 5))
+    rm = RNG.standard_normal(3)
+    rv = RNG.random(3) + 0.5
+    out = F.batch_norm(x, None, None, rm, rv, training=False)
+    np.testing.assert_allclose(out.data, batch_norm_ref(x.data, None, None, rm, rv, 1e-5), rtol=1e-10)
+
+
+@pytest.mark.parametrize("shape", [(4, 3, 5, 5), (8, 6)])
+@pytest.mark.parametrize("affine", [True, False])
+def test_batch_norm_train_gradients(shape, affine):
+    x = t64(shape)
+    if affine:
+        w, b = t64((shape[1],)), t64((shape[1],))
+        assert check_gradients(lambda x, w, b: F.batch_norm(x, w, b, training=True), [x, w, b]).ok
+    else:
+        assert check_gradients(lambda x: F.batch_norm(x, training=True), [x]).ok
+
+
+def test_batch_norm_eval_gradients():
+    x, w, b = t64((4, 3, 4, 4)), t64((3,)), t64((3,))
+    rm = RNG.standard_normal(3)
+    rv = RNG.random(3) + 0.5
+    assert check_gradients(
+        lambda x, w, b: F.batch_norm(x, w, b, rm, rv, training=False), [x, w, b]
+    ).ok
+
+
+def test_batch_norm_running_stats_ema():
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((16, 3, 4, 4))
+    rm, rv = np.zeros(3), np.ones(3)
+    F.batch_norm(Tensor(x, dtype=np.float64), running_mean=rm, running_var=rv, training=True, momentum=0.1)
+    m = x.size // 3
+    np.testing.assert_allclose(rm, 0.1 * x.mean(axis=(0, 2, 3)), rtol=1e-6)
+    np.testing.assert_allclose(rv, 0.9 + 0.1 * x.var(axis=(0, 2, 3)) * m / (m - 1), rtol=1e-6)
+
+
+def test_batch_norm_eval_never_touches_running_stats():
+    x = t64((4, 3, 4, 4))
+    rm, rv = np.zeros(3), np.ones(3)
+    F.batch_norm(x, running_mean=rm, running_var=rv, training=False)
+    assert np.array_equal(rm, np.zeros(3)) and np.array_equal(rv, np.ones(3))
+
+
+def test_batch_norm_validates_shapes():
+    with pytest.raises(ValueError, match="weight"):
+        F.batch_norm(Tensor(np.ones((2, 3))), Tensor(np.ones(4)))
+    with pytest.raises(ValueError, match=r"\(N, C"):
+        F.batch_norm(Tensor(np.ones(5)))
+
+
+# --------------------------------------------------------------------------- #
+# dropout
+# --------------------------------------------------------------------------- #
+def test_dropout_train_gradients():
+    x = t64((6, 7))
+    # Recreate the generator inside fn so every evaluation sees the same mask.
+    assert check_gradients(
+        lambda x: F.dropout(x, p=0.4, training=True, rng=np.random.default_rng(42)), [x]
+    ).ok
+
+
+def test_dropout_inverted_scaling():
+    x = Tensor(np.ones((1000, 10)))
+    out = F.dropout(x, p=0.3, training=True, rng=np.random.default_rng(0))
+    kept = out.data != 0
+    np.testing.assert_allclose(out.data[kept], 1.0 / 0.7, rtol=1e-6)
+    assert abs(kept.mean() - 0.7) < 0.03  # keep rate ~ 1-p
+
+
+def test_dropout_eval_and_p0_are_identity():
+    x = t64((4, 5))
+    assert F.dropout(x, p=0.5, training=False) is x
+    assert F.dropout(x, p=0.0, training=True) is x
+
+
+def test_dropout_p1_zeroes_everything():
+    x = t64((4, 5))
+    out = F.dropout(x, p=1.0, training=True)
+    assert np.array_equal(out.data, np.zeros_like(x.data))
+    out.sum().backward()
+    assert np.array_equal(x.grad, np.zeros_like(x.data))
+
+
+def test_dropout_validates_p():
+    with pytest.raises(ValueError, match="probability"):
+        F.dropout(Tensor(np.ones(3)), p=1.5)
+
+
+# --------------------------------------------------------------------------- #
 # Training-loop smoke: kernels + engine converge together
 # --------------------------------------------------------------------------- #
 def test_small_convnet_training_step_reduces_loss():

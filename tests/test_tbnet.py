@@ -1,0 +1,109 @@
+"""TBNet reference-model tests: the PR's acceptance criteria live here."""
+
+import numpy as np
+
+from repro import nn
+from repro.autograd import no_grad
+from repro.models import TBNet, make_synthetic_batch
+
+import pytest
+
+
+def small_tbnet(dropout=0.0, seed=0):
+    return TBNet(
+        in_channels=2,
+        image_size=8,
+        context_dim=6,
+        num_classes=4,
+        width=8,
+        dropout=dropout,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def small_batch(batch=16, seed=1):
+    return make_synthetic_batch(
+        batch, in_channels=2, image_size=8, context_dim=6, num_classes=4,
+        rng=np.random.default_rng(seed),
+    )
+
+
+def test_forward_shapes():
+    model = small_tbnet()
+    images, context, targets = small_batch()
+    logits = model(images, context)
+    assert logits.shape == (16, 4)
+    assert targets.shape == (16,)
+
+
+def test_tbnet_trains_five_steps_with_adam_loss_strictly_decreasing():
+    """Acceptance criterion: 5 Adam steps on synthetic data, monotone loss."""
+    model = small_tbnet(dropout=0.0)
+    opt = nn.optim.Adam(model.parameters(), lr=1e-2)
+    images, context, targets = small_batch()
+    losses = [model.train_step(opt, images, context, targets) for _ in range(5)]
+    assert all(b < a for a, b in zip(losses, losses[1:])), losses
+
+
+def test_tbnet_default_config_also_learns():
+    # With dropout active the loss need not be monotone, but must go down.
+    model = TBNet(width=8, dropout=0.25, rng=np.random.default_rng(3))
+    opt = nn.optim.Adam(model.parameters(), lr=1e-2)
+    images, context, targets = make_synthetic_batch(32, rng=np.random.default_rng(4))
+    losses = [model.train_step(opt, images, context, targets) for _ in range(10)]
+    assert losses[-1] < losses[0] * 0.8, losses
+
+
+def test_state_dict_round_trips_bit_exactly():
+    """Acceptance criterion: checkpoint round trip is bit-exact."""
+    model = small_tbnet(seed=5)
+    opt = nn.optim.Adam(model.parameters(), lr=1e-2)
+    images, context, targets = small_batch(seed=6)
+    model.train_step(opt, images, context, targets)  # move off the init point
+
+    state = model.state_dict()
+    restored = small_tbnet(seed=777)  # different init, then overwritten
+    restored.load_state_dict(state)
+    for key, value in restored.state_dict().items():
+        assert np.array_equal(value, state[key]), key
+
+    model.eval()
+    restored.eval()
+    with no_grad():
+        a = model(images, context)
+        b = restored(images, context)
+    assert np.array_equal(a.data, b.data)
+
+
+def test_train_step_leaves_no_grads_behind():
+    model = small_tbnet()
+    opt = nn.optim.SGD(model.parameters(), lr=1e-2, momentum=0.9)
+    images, context, targets = small_batch()
+    model.train_step(opt, images, context, targets)
+    assert all(p.grad is None for p in model.parameters())
+
+
+def test_eval_mode_is_deterministic_and_frozen():
+    model = TBNet(width=8, dropout=0.5, rng=np.random.default_rng(8))
+    images, context, targets = make_synthetic_batch(8, rng=np.random.default_rng(9))
+    model.eval()
+    tracked = [np.array(m.running_mean) for m in model.modules() if isinstance(m, nn.BatchNorm2d)]
+    with no_grad():
+        a = model(images, context)
+        b = model(images, context)
+    assert np.array_equal(a.data, b.data)  # dropout inactive
+    after = [m.running_mean for m in model.modules() if isinstance(m, nn.BatchNorm2d)]
+    for before_arr, after_arr in zip(tracked, after):
+        assert np.array_equal(before_arr, after_arr)  # stats untouched
+
+
+def test_rejects_bad_image_size():
+    with pytest.raises(ValueError, match="divisible by 4"):
+        TBNet(image_size=10)
+
+
+def test_synthetic_batch_is_class_conditional():
+    images, context, targets = make_synthetic_batch(512, rng=np.random.default_rng(10))
+    low = images.data[targets == 0].mean()
+    high = images.data[targets == 9].mean()
+    assert high - low > 0.5  # class signal present in the image branch
