@@ -2,11 +2,15 @@
 
 Layers:
 
-- :mod:`repro.autograd` — the define-by-run tape engine and dense kernels.
+- :mod:`repro.backend` — the swappable ndarray backend registry: the
+  ``numpy`` reference and the ``fused`` in-place backend behind one
+  ``ArrayBackend`` surface, plus the process-wide seeded generator.
+- :mod:`repro.autograd` — the define-by-run tape engine and dense kernels,
+  dispatching all numerical work through the active backend.
 - :mod:`repro.nn` — Module/Parameter containers, layers, init schemes and
   optimizers over the fused kernels.
 - :mod:`repro.models` — reference models; :class:`~repro.models.tbnet.TBNet`
   is the paper's two-branch network.
 """
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"

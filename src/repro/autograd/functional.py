@@ -1,11 +1,25 @@
 """Vectorized dense kernels for the autograd engine.
 
-Every kernel here is a single-pass numpy computation: there are **no Python
-loops over batch or channel dimensions**.  Convolution and pooling are built
-on im2col / col2im — patches are exposed as a zero-copy strided window view
-(:func:`numpy.lib.stride_tricks.sliding_window_view`) and contracted with a
-single ``tensordot`` (which lowers to one GEMM), the only Python-level loops
-being over the kernel footprint (``kh × kw``, a handful of iterations).
+Every kernel here is a single-pass computation: there are **no Python loops
+over batch or channel dimensions**.  Convolution and pooling are built on
+im2col / col2im — patches are exposed as a zero-copy strided window view and
+contracted with a single ``tensordot`` (which lowers to one GEMM), the only
+Python-level loops being over the kernel footprint (``kh × kw``, a handful
+of iterations).
+
+The dense numerical work dispatches through the **active array backend**
+(:func:`repro.backend.get_backend`): the ndarray primitives (contractions,
+padding, window views, reductions, transcendentals, RNG draws) and the
+fusible elementwise chains (the affine map, the softmax family, batch-norm
+normalization, the dropout mask) are backend methods, so an alternate
+backend can fuse or reimplement them without touching this module.  Per the
+``ArrayBackend`` contract, backends consume and produce numpy ndarrays (or
+ndarray-compatible duck arrays): the cheap glue between composite calls —
+broadcast bias adds, index gathers, scalar reductions of the gathered loss —
+stays plain ndarray arithmetic on the backend's outputs.  Each kernel
+resolves the backend once at trace time and its backward closure reuses that
+same backend, so a forward pass and its backward always run on the same
+implementation even if the active backend changes in between.
 
 All public ops accept :class:`~repro.autograd.tensor.Tensor` (or anything
 coercible to one), record themselves on the tape and return a ``Tensor``
@@ -22,8 +36,8 @@ from __future__ import annotations
 from typing import Optional, Tuple, Union
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.backend import default_rng, get_backend
 from repro.autograd.tensor import Tensor
 
 __all__ = [
@@ -51,20 +65,10 @@ def _pair(value: IntPair) -> Tuple[int, int]:
     return int(value), int(value)
 
 
-def _pad_hw(x: np.ndarray, ph: int, pw: int, value: float = 0.0) -> np.ndarray:
+def _pad_hw(be, x: np.ndarray, ph: int, pw: int, value: float = 0.0) -> np.ndarray:
     if ph == 0 and pw == 0:
         return x
-    return np.pad(
-        x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant", constant_values=value
-    )
-
-
-def _window_view(
-    xp: np.ndarray, kh: int, kw: int, sh: int, sw: int
-) -> np.ndarray:
-    """Return a zero-copy ``(N, C, OH, OW, kh, kw)`` window view of ``xp``."""
-    windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))
-    return windows[:, :, ::sh, ::sw]
+    return be.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), value=value)
 
 
 def _check_pool_padding(kh: int, kw: int, ph: int, pw: int) -> None:
@@ -91,18 +95,19 @@ def _out_hw(h: int, w: int, kh: int, kw: int, sh: int, sw: int, ph: int, pw: int
 # im2col / col2im (ndarray-level building blocks)
 # --------------------------------------------------------------------------- #
 def im2col(
-    x: np.ndarray, kernel_size: IntPair, stride: IntPair = 1, padding: IntPair = 0
+    x: np.ndarray, kernel_size: IntPair, stride: IntPair = 1, padding: IntPair = 0, be=None
 ) -> np.ndarray:
     """Lower NCHW images to a patch matrix of shape ``(N, OH, OW, C*kh*kw)``.
 
     The resulting matrix turns convolution into a single GEMM against the
-    flattened filter bank.
+    flattened filter bank.  ``be`` pins the backend (default: the active one).
     """
+    be = be if be is not None else get_backend()
     kh, kw = _pair(kernel_size)
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
-    xp = _pad_hw(np.asarray(x), ph, pw)
-    win = _window_view(xp, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw)
+    xp = _pad_hw(be, np.asarray(x), ph, pw)
+    win = be.sliding_windows(xp, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw)
     n, c, oh, ow = win.shape[:4]
     return win.transpose(0, 2, 3, 1, 4, 5).reshape(n, oh, ow, c * kh * kw)
 
@@ -113,18 +118,22 @@ def col2im(
     kernel_size: IntPair,
     stride: IntPair = 1,
     padding: IntPair = 0,
+    be=None,
 ) -> np.ndarray:
     """Scatter-add a ``(N, OH, OW, C*kh*kw)`` patch matrix back to NCHW.
 
     This is the exact adjoint of :func:`im2col`: overlapping patches sum.
+    ``be`` pins the backend; callers inside a backward closure pass the one
+    they captured at trace time (default: the active backend).
     """
+    be = be if be is not None else get_backend()
     kh, kw = _pair(kernel_size)
     sh, sw = _pair(stride)
     ph, pw = _pair(padding)
     n, c, h, w = x_shape
     oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
     patches = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
-    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    xp = be.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
     for i in range(kh):
         for j in range(kw):
             xp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += patches[..., i, j]
@@ -144,6 +153,7 @@ def linear(x, weight, bias=None) -> Tensor:
     dense kernels (two GEMMs and a column sum) with no broadcasting
     bookkeeping.
     """
+    be = get_backend()
     x_t = Tensor._wrap(x)
     w_t = Tensor._wrap(weight)
     b_t = Tensor._wrap(bias) if bias is not None else None
@@ -157,23 +167,21 @@ def linear(x, weight, bias=None) -> Tensor:
             f"linear bias must have shape ({w_t.data.shape[-1]},), got {b_t.data.shape}"
         )
 
-    out = x_t.data @ w_t.data
-    if b_t is not None:
-        out += b_t.data
+    out = be.linear(x_t.data, w_t.data, b_t.data if b_t is not None else None)
     parents = (x_t, w_t) if b_t is None else (x_t, w_t, b_t)
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
             g = out_t.grad
             if x_t.requires_grad:
-                x_t._accumulate_fresh(g @ w_t.data.swapaxes(-1, -2))
+                x_t._accumulate_fresh(be.matmul(g, w_t.data.swapaxes(-1, -2)))
             if w_t.requires_grad:
-                dw = x_t.data.swapaxes(-1, -2) @ g
+                dw = be.matmul(x_t.data.swapaxes(-1, -2), g)
                 if dw.ndim > w_t.data.ndim:  # batched input: sum leading dims
-                    dw = dw.sum(axis=tuple(range(dw.ndim - w_t.data.ndim)))
+                    dw = be.sum(dw, axis=tuple(range(dw.ndim - w_t.data.ndim)))
                 w_t._accumulate_fresh(dw)
             if b_t is not None and b_t.requires_grad:
-                b_t._accumulate_fresh(g.sum(axis=tuple(range(g.ndim - 1))))
+                b_t._accumulate_fresh(be.sum(g, axis=tuple(range(g.ndim - 1))))
 
         return _backward
 
@@ -195,6 +203,7 @@ def conv2d(
     Forward and backward are each a single im2col GEMM; the backward pass
     reuses the strided window view saved at trace time (no re-lowering).
     """
+    be = get_backend()
     x_t = Tensor._wrap(x)
     w_t = Tensor._wrap(weight)
     b_t = Tensor._wrap(bias) if bias is not None else None
@@ -212,10 +221,10 @@ def conv2d(
     n, _, h, w = xd.shape
     oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
 
-    xp = _pad_hw(xd, ph, pw)
-    win = _window_view(xp, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw) view into xp
+    xp = _pad_hw(be, xd, ph, pw)
+    win = be.sliding_windows(xp, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw) view into xp
     # Contract channels and kernel footprint in one GEMM: -> (N, OH, OW, O).
-    out = np.tensordot(win, wd, axes=((1, 4, 5), (1, 2, 3)))
+    out = be.tensordot(win, wd, axes=((1, 4, 5), (1, 2, 3)))
     out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
     if b_t is not None:
         out += b_t.data.reshape(1, -1, 1, 1)
@@ -226,18 +235,20 @@ def conv2d(
         def _backward() -> None:
             g = out_t.grad  # (N, O, OH, OW)
             if b_t is not None and b_t.requires_grad:
-                b_t._accumulate_fresh(g.sum(axis=(0, 2, 3)))
+                b_t._accumulate_fresh(be.sum(g, axis=(0, 2, 3)))
             if w_t.requires_grad:
                 # (N,O,OH,OW) x (N,C,OH,OW,kh,kw) over (N,OH,OW) -> (O,C,kh,kw)
                 w_t._accumulate_fresh(
-                    np.ascontiguousarray(np.tensordot(g, win, axes=((0, 2, 3), (0, 2, 3))))
+                    np.ascontiguousarray(be.tensordot(g, win, axes=((0, 2, 3), (0, 2, 3))))
                 )
             if x_t.requires_grad:
                 # (N,O,OH,OW) x (O,C,kh,kw) over O -> (N,OH,OW,C,kh,kw),
                 # which is exactly the patch matrix col2im scatter-adds back.
-                dwin = np.tensordot(g.transpose(0, 2, 3, 1), wd, axes=((3,), (0,)))
+                dwin = be.tensordot(g.transpose(0, 2, 3, 1), wd, axes=((3,), (0,)))
                 x_t._accumulate_fresh(
-                    col2im(dwin.reshape(n, oh, ow, -1), xd.shape, (kh, kw), (sh, sw), (ph, pw))
+                    col2im(
+                        dwin.reshape(n, oh, ow, -1), xd.shape, (kh, kw), (sh, sw), (ph, pw), be=be
+                    )
                 )
 
         return _backward
@@ -252,6 +263,7 @@ def max_pool2d(
     x, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0
 ) -> Tensor:
     """Max pooling over NCHW windows; gradient routes to the arg-max element."""
+    be = get_backend()
     x_t = Tensor._wrap(x)
     kh, kw = _pair(kernel_size)
     sh, sw = _pair(kernel_size if stride is None else stride)
@@ -262,10 +274,10 @@ def max_pool2d(
     oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
 
     # Pad with -inf so padded positions never win the max.
-    xp = _pad_hw(xd, ph, pw, value=-np.inf)
-    win = _window_view(xp, kh, kw, sh, sw)
+    xp = _pad_hw(be, xd, ph, pw, value=-np.inf)
+    win = be.sliding_windows(xp, kh, kw, sh, sw)
     flat = win.reshape(n, c, oh, ow, kh * kw)  # materializes the windows once
-    arg = flat.argmax(axis=-1)
+    arg = be.argmax(flat, axis=-1)
     out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
     out = np.ascontiguousarray(out)
     xp_shape = xp.shape  # closure needs only the shape, not the padded copy
@@ -275,7 +287,7 @@ def max_pool2d(
             if not x_t.requires_grad:
                 return
             g = out_t.grad
-            dxp = np.zeros(xp_shape, dtype=xd.dtype)
+            dxp = be.zeros(xp_shape, dtype=xd.dtype)
             n_i, c_i, oh_i, ow_i = np.ogrid[0:n, 0:c, 0:oh, 0:ow]
             rows = oh_i * sh + arg // kw
             cols = ow_i * sw + arg % kw
@@ -297,6 +309,7 @@ def avg_pool2d(
     x, kernel_size: IntPair, stride: Optional[IntPair] = None, padding: IntPair = 0
 ) -> Tensor:
     """Average pooling over NCHW windows (padded zeros count toward the mean)."""
+    be = get_backend()
     x_t = Tensor._wrap(x)
     kh, kw = _pair(kernel_size)
     sh, sw = _pair(kernel_size if stride is None else stride)
@@ -306,9 +319,9 @@ def avg_pool2d(
     n, c, h, w = xd.shape
     oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
 
-    xp = _pad_hw(xd, ph, pw)
-    win = _window_view(xp, kh, kw, sh, sw)
-    out = np.ascontiguousarray(win.mean(axis=(4, 5)))
+    xp = _pad_hw(be, xd, ph, pw)
+    win = be.sliding_windows(xp, kh, kw, sh, sw)
+    out = np.ascontiguousarray(be.mean(win, axis=(4, 5)))
     inv_area = 1.0 / (kh * kw)
     xp_shape = xp.shape  # closure needs only the shape, not the padded copy
 
@@ -320,7 +333,7 @@ def avg_pool2d(
             # Direct scatter instead of col2im: every patch entry is the same
             # g value, so materializing the (N,OH,OW,C*kh*kw) matrix would be
             # pure waste.
-            dxp = np.zeros(xp_shape, dtype=xd.dtype)
+            dxp = be.zeros(xp_shape, dtype=xd.dtype)
             for i in range(kh):
                 for j in range(kw):
                     dxp[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += g
@@ -359,13 +372,18 @@ def batch_norm(
     ``running_mean`` / ``running_var`` arrays are supplied, they are updated
     **in place** with an exponential moving average (``momentum`` weighting
     the new observation; the variance update uses the unbiased estimator,
-    matching PyTorch).  In eval mode the running statistics normalize the
-    input and are never touched; if none were supplied the batch statistics
-    are used as a fallback.
+    matching PyTorch).  Training mode requires more than one value per
+    channel — with a single value the batch variance is degenerate and the
+    unbiased correction ``n / (n - 1)`` is undefined, so a ``ValueError`` is
+    raised (as PyTorch does) instead of silently poisoning the running
+    statistics.  In eval mode the running statistics normalize the input and
+    are never touched; if none were supplied the batch statistics are used
+    as a fallback.
 
     ``weight`` (gamma) and ``bias`` (beta) are optional ``(C,)`` tensors for
     the affine transform; either may be ``None``.
     """
+    be = get_backend()
     x_t = Tensor._wrap(x)
     w_t = Tensor._wrap(weight) if weight is not None else None
     b_t = Tensor._wrap(bias) if bias is not None else None
@@ -380,32 +398,39 @@ def batch_norm(
     axes = (0,) + tuple(range(2, xd.ndim))
     bshape = (1, c) + (1,) * (xd.ndim - 2)
     m = xd.size // c  # elements per channel
+    if training and m <= 1:
+        raise ValueError(
+            "batch_norm: expected more than 1 value per channel in training "
+            f"mode, got input of shape {tuple(xd.shape)} ({m} per channel); "
+            "use eval mode or a larger batch"
+        )
 
     use_batch_stats = training or running_mean is None or running_var is None
     if use_batch_stats:
-        mean = xd.mean(axis=axes)
-        var = xd.var(axis=axes)
+        mean = be.mean(xd, axis=axes)
+        var = be.var(xd, axis=axes)
     else:
         mean = np.asarray(running_mean, dtype=xd.dtype)
         var = np.asarray(running_var, dtype=xd.dtype)
 
     if training and running_mean is not None and running_var is not None:
-        # Unbiased variance for the running estimate (biased for normalization).
-        unbiased = var * (m / (m - 1)) if m > 1 else var
+        # Unbiased variance for the running estimate (biased for
+        # normalization); m > 1 is guaranteed by the check above.
+        unbiased = var * (m / (m - 1))
         running_mean *= 1.0 - momentum
         running_mean += momentum * mean.astype(running_mean.dtype)
         running_var *= 1.0 - momentum
         running_var += momentum * unbiased.astype(running_var.dtype)
 
     inv_std = 1.0 / np.sqrt(var + eps)
-    xhat = (xd - mean.reshape(bshape)) * inv_std.reshape(bshape)
-    out = xhat
-    if w_t is not None:
-        out = out * w_t.data.reshape(bshape)
-    if b_t is not None:
-        out = out + b_t.data.reshape(bshape)
-    if out is xhat:
-        out = out.copy()  # never hand the saved xhat buffer to the caller
+    xhat, out = be.bn_normalize(
+        xd,
+        mean,
+        inv_std,
+        w_t.data if w_t is not None else None,
+        b_t.data if b_t is not None else None,
+        bshape,
+    )
 
     parents = tuple(t for t in (x_t, w_t, b_t) if t is not None)
 
@@ -413,21 +438,18 @@ def batch_norm(
         def _backward() -> None:
             g = out_t.grad
             if b_t is not None and b_t.requires_grad:
-                b_t._accumulate_fresh(g.sum(axis=axes))
+                b_t._accumulate_fresh(be.sum(g, axis=axes))
             if w_t is not None and w_t.requires_grad:
-                w_t._accumulate_fresh((g * xhat).sum(axis=axes))
+                w_t._accumulate_fresh(be.sum(be.multiply(g, xhat), axis=axes))
             if not x_t.requires_grad:
                 return
-            dxhat = g * w_t.data.reshape(bshape) if w_t is not None else g
+            dxhat = be.multiply(g, w_t.data.reshape(bshape)) if w_t is not None else g
             if use_batch_stats:
                 # Batch statistics depend on x: the full three-term adjoint.
-                mean_dxhat = dxhat.mean(axis=axes).reshape(bshape)
-                mean_dxhat_xhat = (dxhat * xhat).mean(axis=axes).reshape(bshape)
-                dx = (dxhat - mean_dxhat - xhat * mean_dxhat_xhat) * inv_std.reshape(bshape)
-                x_t._accumulate_fresh(dx)
+                x_t._accumulate_fresh(be.bn_input_grad(dxhat, xhat, inv_std, axes, bshape))
             else:
                 # Running statistics are constants: pure elementwise scaling.
-                x_t._accumulate_fresh(dxhat * inv_std.reshape(bshape))
+                x_t._accumulate_fresh(be.multiply(dxhat, inv_std.reshape(bshape)))
 
         return _backward
 
@@ -445,60 +467,48 @@ def dropout(
     Kept elements are scaled by ``1 / (1 - p)`` so activations keep their
     expected magnitude and eval needs no rescaling.  In eval mode (or with
     ``p == 0``) the input tensor is returned unchanged — no mask, no tape
-    node.  The mask is drawn from the explicit ``rng`` generator when given.
+    node.  The mask is drawn from the explicit ``rng`` generator when given;
+    without one it falls back to the **seeded global generator**
+    (:func:`repro.backend.default_rng`, reset by
+    ``repro.nn.init.manual_seed``) so training runs are reproducible without
+    threading a generator through every call.
     """
     if not 0.0 <= p <= 1.0:
         raise ValueError(f"dropout probability must be in [0, 1], got {p}")
+    be = get_backend()
     x_t = Tensor._wrap(x)
     if not training or p == 0.0:
         return x_t
 
     xd = x_t.data
     if p == 1.0:
-        mask = np.zeros(xd.shape, dtype=xd.dtype)
+        mask = be.zeros(xd.shape, dtype=xd.dtype)
     else:
-        rng = rng if rng is not None else np.random.default_rng()
-        keep = rng.random(xd.shape) >= p
-        mask = keep.astype(xd.dtype)
-        mask /= np.asarray(1.0 - p, dtype=xd.dtype)
+        mask = be.dropout_mask(rng if rng is not None else default_rng(), xd.shape, p, xd.dtype)
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
             if x_t.requires_grad:
-                x_t._accumulate_fresh(out_t.grad * mask)
+                x_t._accumulate_fresh(be.multiply(out_t.grad, mask))
 
         return _backward
 
-    return Tensor._make(xd * mask, (x_t,), "dropout", make_backward)
+    return Tensor._make(be.multiply(xd, mask), (x_t,), "dropout", make_backward)
 
 
 # --------------------------------------------------------------------------- #
 # Softmax family
 # --------------------------------------------------------------------------- #
-def _stable_log_softmax(z: np.ndarray, axis: int) -> np.ndarray:
-    shifted = z - z.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    lse = np.log(e.sum(axis=axis, keepdims=True))
-    shifted -= lse
-    return shifted
-
-
 def softmax(x, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    be = get_backend()
     x_t = Tensor._wrap(x)
-    z = x_t.data - x_t.data.max(axis=axis, keepdims=True)
-    np.exp(z, out=z)
-    z /= z.sum(axis=axis, keepdims=True)
-    probs = z  # owned fresh buffer
+    probs = be.softmax(x_t.data, axis)  # owned fresh buffer
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
-            if not x_t.requires_grad:
-                return
-            g = out_t.grad
-            gp = g * probs
-            gp -= probs * gp.sum(axis=axis, keepdims=True)
-            x_t._accumulate_fresh(gp)
+            if x_t.requires_grad:
+                x_t._accumulate_fresh(be.softmax_grad(out_t.grad, probs, axis))
 
         return _backward
 
@@ -507,16 +517,14 @@ def softmax(x, axis: int = -1) -> Tensor:
 
 def log_softmax(x, axis: int = -1) -> Tensor:
     """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    be = get_backend()
     x_t = Tensor._wrap(x)
-    logp = _stable_log_softmax(x_t.data, axis)
+    logp = be.log_softmax(x_t.data, axis)
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
-            if not x_t.requires_grad:
-                return
-            g = out_t.grad
-            gx = g - np.exp(logp) * g.sum(axis=axis, keepdims=True)
-            x_t._accumulate_fresh(gx)
+            if x_t.requires_grad:
+                x_t._accumulate_fresh(be.log_softmax_grad(out_t.grad, logp, axis))
 
         return _backward
 
@@ -527,20 +535,36 @@ def softmax_cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
     """Fused softmax + negative-log-likelihood over ``(batch, classes)`` logits.
 
     ``targets`` are integer class indices of shape ``(batch,)`` (ndarray or
-    Tensor; never differentiated).  Fusing the two steps keeps the backward
-    pass a single ``probs - onehot`` kernel with no intermediate graph nodes.
+    Tensor; never differentiated) and must lie in ``[0, classes)`` — negative
+    or too-large labels raise instead of silently wrapping around.  Fusing
+    the two steps keeps the backward pass a single ``probs - onehot`` kernel
+    with no intermediate graph nodes.
     """
     if reduction not in ("mean", "sum", "none"):
         raise ValueError(f"unknown reduction {reduction!r}")
+    be = get_backend()
     x_t = Tensor._wrap(logits)
     idx = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
     idx = idx.astype(np.int64).reshape(-1)
     if x_t.data.ndim != 2 or idx.shape[0] != x_t.data.shape[0]:
         raise ValueError("softmax_cross_entropy expects (N, C) logits and (N,) targets")
+    if idx.shape[0] == 0 and reduction == "mean":
+        # The mean of an empty batch is 0/0 (nan forward, zero division in
+        # the backward scale); sum/none stay well-defined on N=0.
+        raise ValueError(
+            "softmax_cross_entropy got an empty batch (N=0); the mean loss "
+            "is undefined — use reduction='sum' or 'none' for empty shards"
+        )
+    n_classes = x_t.data.shape[1]
+    if idx.size and (idx.min() < 0 or idx.max() >= n_classes):
+        raise ValueError(
+            f"softmax_cross_entropy targets must be class indices in "
+            f"[0, {n_classes}), got values in [{idx.min()}, {idx.max()}]"
+        )
     n = idx.shape[0]
     rows = np.arange(n)
 
-    logp = _stable_log_softmax(x_t.data, axis=-1)
+    logp = be.log_softmax(x_t.data, -1)
     losses = -logp[rows, idx]
     if reduction == "mean":
         out = losses.mean(dtype=losses.dtype)
@@ -554,16 +578,14 @@ def softmax_cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
             if not x_t.requires_grad:
                 return
             g = out_t.grad
-            d = np.exp(logp)  # probs, fresh buffer we can scale in place
             if reduction == "none":
                 scale = g.reshape(-1, 1)
-                d[rows, idx] -= 1.0
-                d *= scale
+                if scale.dtype != logp.dtype:
+                    scale = scale.astype(logp.dtype)
             else:
-                d[rows, idx] -= 1.0
-                scale = float(g) / n if reduction == "mean" else float(g)
-                d *= np.asarray(scale, dtype=d.dtype)
-            x_t._accumulate_fresh(d)
+                s = float(g) / n if reduction == "mean" else float(g)
+                scale = np.asarray(s, dtype=logp.dtype)
+            x_t._accumulate_fresh(be.xent_grad(logp, rows, idx, scale))
 
         return _backward
 

@@ -27,6 +27,14 @@ Only the operations needed by the TBNet reproduction are implemented, but each
 is implemented for arbitrary broadcastable shapes so the layer code in
 :mod:`repro.nn` stays simple.  Dense spatial kernels (im2col convolution,
 pooling, fused softmax cross-entropy) live in :mod:`repro.autograd.functional`.
+
+The numerical work of every op — elementwise arithmetic, matmul,
+transcendentals, reductions — dispatches through the active array backend
+(:func:`repro.backend.get_backend`).  Each op resolves the backend once at
+trace time and its backward closure reuses that same backend, so forward and
+backward always run on the same implementation.  Structural ops (reshape,
+transpose, indexing, concatenation) have no numerical content and stay plain
+numpy.
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ import numbers
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.backend import default_rng, get_backend
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -255,6 +265,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = self._wrap(other)
+        be = get_backend()
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
@@ -265,19 +276,21 @@ class Tensor:
 
             return _backward
 
-        return self._make(self.data + other.data, (self, other), "add", make_backward)
+        return self._make(be.add(self.data, other.data), (self, other), "add", make_backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        be = get_backend()
+
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(-out.grad)
+                    self._accumulate_fresh(be.negative(out.grad))
 
             return _backward
 
-        return self._make(-self.data, (self,), "neg", make_backward)
+        return self._make(be.negative(self.data), (self,), "neg", make_backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-self._wrap(other))
@@ -287,35 +300,49 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = self._wrap(other)
+        be = get_backend()
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(_unbroadcast(out.grad * other.data, self.data.shape))
+                    self._accumulate_fresh(
+                        _unbroadcast(be.multiply(out.grad, other.data), self.data.shape)
+                    )
                 if other.requires_grad:
-                    other._accumulate_fresh(_unbroadcast(out.grad * self.data, other.data.shape))
+                    other._accumulate_fresh(
+                        _unbroadcast(be.multiply(out.grad, self.data), other.data.shape)
+                    )
 
             return _backward
 
-        return self._make(self.data * other.data, (self, other), "mul", make_backward)
+        return self._make(be.multiply(self.data, other.data), (self, other), "mul", make_backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = self._wrap(other)
+        be = get_backend()
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(_unbroadcast(out.grad / other.data, self.data.shape))
+                    self._accumulate_fresh(
+                        _unbroadcast(be.divide(out.grad, other.data), self.data.shape)
+                    )
                 if other.requires_grad:
                     other._accumulate_fresh(
-                        _unbroadcast(-out.grad * self.data / (other.data ** 2), other.data.shape)
+                        _unbroadcast(
+                            be.divide(
+                                be.multiply(be.negative(out.grad), self.data),
+                                be.power(other.data, 2.0),
+                            ),
+                            other.data.shape,
+                        )
                     )
 
             return _backward
 
-        return self._make(self.data / other.data, (self, other), "div", make_backward)
+        return self._make(be.divide(self.data, other.data), (self, other), "div", make_backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._wrap(other) / self
@@ -331,17 +358,22 @@ class Tensor:
                 f"{type(exponent).__name__}"
             )
 
+        be = get_backend()
+
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * exponent * np.power(self.data, exponent - 1))
+                    self._accumulate_fresh(
+                        out.grad * exponent * be.power(self.data, exponent - 1)
+                    )
 
             return _backward
 
-        return self._make(np.power(self.data, exponent), (self,), "pow", make_backward)
+        return self._make(be.power(self.data, exponent), (self,), "pow", make_backward)
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = self._wrap(other)
+        be = get_backend()
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
@@ -357,19 +389,19 @@ class Tensor:
                 if a.ndim == 1:
                     g2 = np.expand_dims(g2, -2)
                 if self.requires_grad:
-                    ga = g2 @ b2.swapaxes(-1, -2)
+                    ga = be.matmul(g2, b2.swapaxes(-1, -2))
                     if a.ndim == 1:
                         ga = np.squeeze(ga, -2)
                     self._accumulate_fresh(_unbroadcast(ga, a.shape))
                 if other.requires_grad:
-                    gb = a2.swapaxes(-1, -2) @ g2
+                    gb = be.matmul(a2.swapaxes(-1, -2), g2)
                     if b.ndim == 1:
                         gb = np.squeeze(gb, -1)
                     other._accumulate_fresh(_unbroadcast(gb, b.shape))
 
             return _backward
 
-        return self._make(self.data @ other.data, (self, other), "matmul", make_backward)
+        return self._make(be.matmul(self.data, other.data), (self, other), "matmul", make_backward)
 
     def abs(self) -> "Tensor":
         def make_backward(out: "Tensor") -> Callable[[], None]:
@@ -382,29 +414,33 @@ class Tensor:
         return self._make(np.abs(self.data), (self,), "abs", make_backward)
 
     def exp(self) -> "Tensor":
-        result = np.exp(self.data)
+        be = get_backend()
+        result = be.exp(self.data)
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * result)
+                    self._accumulate_fresh(be.multiply(out.grad, result))
 
             return _backward
 
         return self._make(result, (self,), "exp", make_backward)
 
     def log(self) -> "Tensor":
+        be = get_backend()
+
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad / self.data)
+                    self._accumulate_fresh(be.divide(out.grad, self.data))
 
             return _backward
 
-        return self._make(np.log(self.data), (self,), "log", make_backward)
+        return self._make(be.log(self.data), (self,), "log", make_backward)
 
     def sqrt(self) -> "Tensor":
-        result = np.sqrt(self.data)
+        be = get_backend()
+        result = be.sqrt(self.data)
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
@@ -419,19 +455,21 @@ class Tensor:
     # Non-linearities
     # ------------------------------------------------------------------ #
     def relu(self) -> "Tensor":
+        be = get_backend()
         mask = self.data > 0
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(out.grad * mask)
+                    self._accumulate_fresh(be.multiply(out.grad, mask))
 
             return _backward
 
-        return self._make(self.data * mask, (self,), "relu", make_backward)
+        return self._make(be.relu(self.data), (self,), "relu", make_backward)
 
     def sigmoid(self) -> "Tensor":
-        result = 1.0 / (1.0 + np.exp(-self.data))
+        be = get_backend()
+        result = be.sigmoid(self.data)
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
@@ -443,7 +481,8 @@ class Tensor:
         return self._make(result, (self,), "sigmoid", make_backward)
 
     def tanh(self) -> "Tensor":
-        result = np.tanh(self.data)
+        be = get_backend()
+        result = be.tanh(self.data)
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
@@ -458,6 +497,8 @@ class Tensor:
     # Reductions and shape manipulation
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        be = get_backend()
+
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if not self.requires_grad:
@@ -472,7 +513,9 @@ class Tensor:
 
             return _backward
 
-        return self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum", make_backward)
+        return self._make(
+            be.sum(self.data, axis=axis, keepdims=keepdims), (self,), "sum", make_backward
+        )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -541,7 +584,8 @@ class Tensor:
         return self._make(self.data[index], (self,), "getitem", make_backward)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        result = self.data.max(axis=axis, keepdims=keepdims)
+        be = get_backend()
+        result = be.amax(self.data, axis=axis, keepdims=keepdims)
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
@@ -711,7 +755,9 @@ class Tensor:
     # constructors are seeded through an **explicit**
     # :class:`numpy.random.Generator` (``rng=``) so model initialisation is
     # reproducible without touching numpy's global state; ``rng=None`` falls
-    # back to a fresh unseeded generator.
+    # back to the seeded global generator (:func:`repro.backend.default_rng`,
+    # reset by ``repro.nn.init.manual_seed``), so one ``manual_seed`` call
+    # makes every default draw in the stack deterministic.
     @staticmethod
     def _splat_shape(shape: Tuple) -> Tuple[int, ...]:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
@@ -745,9 +791,10 @@ class Tensor:
         dtype=None,
         requires_grad: bool = False,
     ) -> "Tensor":
-        """Standard-normal tensor drawn from ``rng`` (or a fresh generator)."""
-        rng = rng if rng is not None else np.random.default_rng()
-        data = rng.standard_normal(Tensor._splat_shape(shape)).astype(dtype or np.float32)
+        """Standard-normal tensor drawn from ``rng`` (or the seeded global one)."""
+        rng = rng if rng is not None else default_rng()
+        data = get_backend().standard_normal(rng, Tensor._splat_shape(shape))
+        data = data.astype(dtype or np.float32)
         return Tensor(data, requires_grad=requires_grad, dtype=data.dtype)
 
     @staticmethod
@@ -759,7 +806,8 @@ class Tensor:
         dtype=None,
         requires_grad: bool = False,
     ) -> "Tensor":
-        """Uniform ``[low, high)`` tensor drawn from ``rng`` (or a fresh generator)."""
-        rng = rng if rng is not None else np.random.default_rng()
-        data = rng.uniform(low, high, Tensor._splat_shape(shape)).astype(dtype or np.float32)
+        """Uniform ``[low, high)`` tensor drawn from ``rng`` (or the seeded global one)."""
+        rng = rng if rng is not None else default_rng()
+        data = get_backend().uniform(rng, low, high, Tensor._splat_shape(shape))
+        data = data.astype(dtype or np.float32)
         return Tensor(data, requires_grad=requires_grad, dtype=data.dtype)

@@ -1,0 +1,202 @@
+"""The ``ArrayBackend`` protocol: the ndarray surface the kernels sit on.
+
+Every numerical operation performed by the autograd kernels
+(:mod:`repro.autograd.functional`), the tensor elementwise ops
+(:mod:`repro.autograd.tensor`) and the optimizer update rules
+(:mod:`repro.nn.optim`) dispatches through the *active backend* — an object
+implementing this protocol, resolved via :func:`repro.backend.get_backend`.
+
+The surface has two tiers:
+
+**Primitives** are the ~15 ndarray operations the kernels are actually built
+from: GEMM-shaped contractions (``matmul`` / ``tensordot``), padding and
+strided window views, reductions, transcendentals and the RNG draws.  A new
+backend (an accelerator, a JIT such as numexpr, a remote device) must provide
+all of them.
+
+**Composites** are fusion points: whole elementwise chains (the affine map of
+``linear``, the softmax family, batch-norm normalization and its input
+adjoint, the dropout mask, the SGD/Adam update rules) exposed as single
+methods so a backend may collapse them into fewer temporaries or a single
+fused kernel.  :class:`~repro.backend.numpy_backend.NumpyBackend` implements
+each composite as the plain, readable numpy expression — that is the
+reference semantics alternate backends are validated against.
+:class:`~repro.backend.fused.FusedNumpyBackend` overrides them with in-place
+chains that allocate far fewer temporaries while keeping the same operation
+order (and therefore near-bit-identical results).
+
+Structural operations with no numerical content — ``reshape``, ``transpose``,
+basic indexing — are *not* part of the surface: they follow numpy semantics
+on every backend and stay as plain ndarray calls in the kernels.  Backends
+therefore consume and produce numpy ndarrays (or ndarray-compatible duck
+arrays): the kernels apply ordinary ndarray glue (broadcast adds, index
+gathers) between composite calls, so a device backend must hand back arrays
+that ndarray arithmetic accepts.
+
+Backends must be stateless with respect to the arrays they are handed: a
+method may mutate only buffers documented as owned by the callee (optimizer
+state and parameters in ``sgd_update`` / ``adam_update``); gradients and
+activations passed in are read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+@runtime_checkable
+class ArrayBackend(Protocol):
+    """Protocol for swappable ndarray backends (see module docstring)."""
+
+    #: Registry name; also shown in benchmark records.
+    name: str
+
+    # ------------------------------------------------------------------ #
+    # Primitives: allocation, arithmetic, contractions
+    # ------------------------------------------------------------------ #
+    def zeros(self, shape, dtype) -> np.ndarray: ...
+
+    def add(self, a, b) -> np.ndarray: ...
+
+    def multiply(self, a, b) -> np.ndarray: ...
+
+    def divide(self, a, b) -> np.ndarray: ...
+
+    def negative(self, a) -> np.ndarray: ...
+
+    def power(self, a, exponent: float) -> np.ndarray: ...
+
+    def matmul(self, a, b) -> np.ndarray: ...
+
+    def tensordot(self, a, b, axes) -> np.ndarray: ...
+
+    # ------------------------------------------------------------------ #
+    # Primitives: transcendentals
+    # ------------------------------------------------------------------ #
+    def exp(self, x) -> np.ndarray: ...
+
+    def log(self, x) -> np.ndarray: ...
+
+    def sqrt(self, x) -> np.ndarray: ...
+
+    def tanh(self, x) -> np.ndarray: ...
+
+    # ------------------------------------------------------------------ #
+    # Primitives: reductions and structure
+    # ------------------------------------------------------------------ #
+    def sum(self, x, axis=None, keepdims: bool = False) -> np.ndarray: ...
+
+    def mean(self, x, axis=None, keepdims: bool = False) -> np.ndarray: ...
+
+    def var(self, x, axis=None) -> np.ndarray: ...
+
+    def amax(self, x, axis=None, keepdims: bool = False) -> np.ndarray: ...
+
+    def argmax(self, x, axis: int) -> np.ndarray: ...
+
+    def pad(self, x, pad_width, value: float = 0.0) -> np.ndarray: ...
+
+    def sliding_windows(self, x, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+        """Zero-copy ``(N, C, OH, OW, kh, kw)`` window view of an NCHW array."""
+        ...
+
+    # ------------------------------------------------------------------ #
+    # Primitives: random draws (always from an explicit Generator)
+    # ------------------------------------------------------------------ #
+    def random_uniform(self, rng: np.random.Generator, shape) -> np.ndarray: ...
+
+    def standard_normal(self, rng: np.random.Generator, shape) -> np.ndarray: ...
+
+    def uniform(
+        self, rng: np.random.Generator, low: float, high: float, shape
+    ) -> np.ndarray: ...
+
+    # ------------------------------------------------------------------ #
+    # Composites: elementwise chains a backend may fuse
+    # ------------------------------------------------------------------ #
+    def relu(self, x) -> np.ndarray: ...
+
+    def sigmoid(self, x) -> np.ndarray: ...
+
+    def linear(self, x, w, b: Optional[np.ndarray]) -> np.ndarray:
+        """Affine map ``x @ w + b`` (``b`` may be ``None``)."""
+        ...
+
+    def softmax(self, z, axis: int) -> np.ndarray: ...
+
+    def softmax_grad(self, g, probs, axis: int) -> np.ndarray:
+        """VJP of softmax: ``probs * (g - sum(g * probs))`` as a fresh buffer."""
+        ...
+
+    def log_softmax(self, z, axis: int) -> np.ndarray: ...
+
+    def log_softmax_grad(self, g, logp, axis: int) -> np.ndarray: ...
+
+    def xent_grad(self, logp, rows, idx, scale) -> np.ndarray:
+        """Cross-entropy logits gradient ``(softmax(logp) - onehot) * scale``.
+
+        ``scale`` is an ndarray already cast to ``logp.dtype`` (a scalar array
+        for mean/sum reductions, an ``(N, 1)`` column for ``reduction='none'``).
+        """
+        ...
+
+    def bn_normalize(
+        self, x, mean, inv_std, gamma, beta, bshape: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(xhat, out)`` where ``xhat = (x - mean) * inv_std`` and
+        ``out = xhat * gamma + beta`` (either affine term may be ``None``).
+        ``out`` must never alias ``xhat``: the caller saves ``xhat`` for the
+        backward pass and hands ``out`` to downstream ops.
+        """
+        ...
+
+    def bn_input_grad(self, dxhat, xhat, inv_std, axes, bshape) -> np.ndarray:
+        """The three-term batch-norm input adjoint (batch-statistics mode)."""
+        ...
+
+    def dropout_mask(
+        self, rng: np.random.Generator, shape, p: float, dtype
+    ) -> np.ndarray:
+        """Inverted-dropout mask: ``(uniform >= p) / (1 - p)`` in ``dtype``."""
+        ...
+
+    # ------------------------------------------------------------------ #
+    # Composites: optimizer update rules (mutate p and state in place)
+    # ------------------------------------------------------------------ #
+    def sgd_update(
+        self,
+        p: np.ndarray,
+        g: np.ndarray,
+        v: Optional[np.ndarray],
+        lr: float,
+        momentum: float,
+        weight_decay: float,
+        nesterov: bool,
+    ) -> None:
+        """One SGD step.  Mutates ``p`` (and ``v`` when momentum is active,
+        initialized to zeros by the caller) in place; must not mutate ``g``.
+        """
+        ...
+
+    def adam_update(
+        self,
+        p: np.ndarray,
+        g: np.ndarray,
+        m: np.ndarray,
+        v: np.ndarray,
+        lr: float,
+        beta1: float,
+        beta2: float,
+        eps: float,
+        bc1: float,
+        bc2: float,
+        weight_decay: float,
+    ) -> None:
+        """One Adam step with precomputed bias corrections ``bc1``/``bc2``.
+        Mutates ``p``, ``m`` and ``v`` in place; must not mutate ``g``.
+        """
+        ...

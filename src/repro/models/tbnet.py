@@ -27,6 +27,7 @@ import numpy as np
 
 from repro import nn
 from repro.autograd import Tensor, functional as F
+from repro.backend import default_rng
 
 __all__ = ["TBNet", "make_synthetic_batch"]
 
@@ -135,9 +136,11 @@ def make_synthetic_batch(
 
     Each sample's class shifts the mean of its image channels and of its
     context vector, so both branches carry label signal and a few optimizer
-    steps must reduce the loss.
+    steps must reduce the loss.  Without an explicit ``rng`` the draw comes
+    from the seeded global generator (``repro.nn.init.manual_seed``), like
+    every other default draw in the stack.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else default_rng()
     targets = rng.integers(0, num_classes, size=batch)
     class_signal = (targets / max(num_classes - 1, 1)).astype(np.float32) - 0.5
 

@@ -2,10 +2,12 @@
 
 All schemes are backed by the seedable :class:`~repro.autograd.tensor.Tensor`
 constructors (``Tensor.randn`` / ``Tensor.uniform``) and take an explicit
-:class:`numpy.random.Generator`.  When no generator is passed they draw from a
-module-level default that :func:`manual_seed` resets, so a whole model can be
-made deterministic with one call without threading generators through every
-layer.
+:class:`numpy.random.Generator`.  When no generator is passed they draw from
+the **process-wide seeded generator** owned by :mod:`repro.backend` — the
+same stream the dropout mask and the ``Tensor`` random constructors fall back
+to — so one :func:`manual_seed` call makes the whole stack (initialisation
+*and* training-time randomness) deterministic without threading generators
+through every layer.
 
 Fan sizes are explicit arguments rather than inferred from the shape: the
 repo stores ``Linear`` weights as ``(in_features, out_features)`` and conv
@@ -20,6 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import backend as _backend
 from repro.autograd.tensor import Tensor
 
 __all__ = [
@@ -31,23 +34,24 @@ __all__ = [
     "xavier_uniform",
 ]
 
-_default_rng = np.random.default_rng()
-
 
 def manual_seed(seed: int) -> np.random.Generator:
-    """Reset the default generator used when layers get no explicit ``rng``."""
-    global _default_rng
-    _default_rng = np.random.default_rng(seed)
-    return _default_rng
+    """Reset the global generator every default random draw falls back to.
+
+    Delegates to :func:`repro.backend.manual_seed`: the same stream also
+    drives the default dropout mask and ``Tensor.randn``/``uniform``, so this
+    one call pins both initialisation and training-time randomness.
+    """
+    return _backend.manual_seed(seed)
 
 
 def default_rng() -> np.random.Generator:
-    """The generator initialisation falls back to (see :func:`manual_seed`)."""
-    return _default_rng
+    """The current global generator (see :func:`manual_seed`)."""
+    return _backend.default_rng()
 
 
 def _resolve(rng: Optional[np.random.Generator]) -> np.random.Generator:
-    return rng if rng is not None else _default_rng
+    return rng if rng is not None else _backend.default_rng()
 
 
 def kaiming_normal(

@@ -182,8 +182,10 @@ class BatchNorm2d(_BatchNorm):
 class Dropout(Module):
     """Inverted dropout; identity (and tape-free) in eval mode.
 
-    An explicit ``rng`` makes the mask sequence reproducible; the default
-    draws from :func:`repro.nn.init.manual_seed`'s generator.
+    An explicit ``rng`` makes the mask sequence reproducible; without one the
+    kernel draws from the seeded global generator that
+    :func:`repro.nn.init.manual_seed` resets, so default dropout is already
+    deterministic after one ``manual_seed`` call.
     """
 
     def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
@@ -194,8 +196,7 @@ class Dropout(Module):
         self.rng = rng
 
     def forward(self, x) -> Tensor:
-        rng = self.rng if self.rng is not None else init.default_rng()
-        return F.dropout(x, p=self.p, training=self.training, rng=rng)
+        return F.dropout(x, p=self.p, training=self.training, rng=self.rng)
 
     def extra_repr(self) -> str:
         return f"p={self.p}"

@@ -1,19 +1,28 @@
 """Optimizers updating :class:`~repro.nn.module.Parameter` storage in place.
 
-Updates mutate ``param.data`` buffers directly with in-place numpy ops, so no
+Updates mutate ``param.data`` buffers directly with in-place ops, so no
 autograd graph is recorded and aliases of the parameter (in closures, in other
 modules) see the new values.  State buffers (momentum, Adam moments) are
 allocated lazily on the first step that sees a gradient and keyed by position,
 so parameters that never receive gradients cost nothing.
+
+The update rules themselves are backend composites
+(:meth:`~repro.backend.base.ArrayBackend.sgd_update` /
+:meth:`~repro.backend.base.ArrayBackend.adam_update`): each ``step()``
+resolves the active backend once and applies its fused (or reference) update
+to every parameter, so an accelerator backend owns the optimizer arithmetic
+too.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, List, Optional
 
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend import get_backend
 
 __all__ = ["Optimizer", "SGD", "Adam"]
 
@@ -33,7 +42,16 @@ class Optimizer:
                 seen.add(id(p))
                 self.params.append(p)
         if not self.params:
-            raise ValueError("optimizer got no trainable parameters")
+            # Fully-frozen models (feature extraction, eval-only fine-tuning
+            # pipelines) legitimately build an optimizer over zero trainable
+            # parameters; crashing here would break them, so the optimizer
+            # degrades to a warned no-op instead.
+            warnings.warn(
+                "optimizer got no trainable parameters; step() and zero_grad() "
+                "will be no-ops",
+                UserWarning,
+                stacklevel=3,
+            )
         self.lr = float(lr)
 
     def zero_grad(self) -> None:
@@ -71,21 +89,21 @@ class SGD(Optimizer):
         self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
 
     def step(self) -> None:
+        be = get_backend()
         for i, p in enumerate(self.params):
             g = p.grad
             if g is None:
                 continue
-            if self.weight_decay:
-                g = g + self.weight_decay * p.data  # fresh buffer; p.grad untouched
+            v = None
             if self.momentum:
                 v = self._velocity[i]
                 if v is None:
-                    v = self._velocity[i] = np.array(g, dtype=p.data.dtype)
-                else:
-                    v *= self.momentum
-                    v += g
-                g = g + self.momentum * v if self.nesterov else v
-            p.data -= np.asarray(self.lr, dtype=p.data.dtype) * g
+                    # Zero-initialised: the backend's first momentum update
+                    # (v = momentum * 0 + g) then matches torch's v0 = g.
+                    v = self._velocity[i] = np.zeros_like(p.data)
+            be.sgd_update(
+                p.data, g, v, self.lr, self.momentum, self.weight_decay, self.nesterov
+            )
 
 
 class Adam(Optimizer):
@@ -112,6 +130,7 @@ class Adam(Optimizer):
         self._v: List[Optional[np.ndarray]] = [None] * len(self.params)
 
     def step(self) -> None:
+        be = get_backend()
         self._step_count += 1
         t = self._step_count
         bc1 = 1.0 - self.beta1 ** t
@@ -120,16 +139,11 @@ class Adam(Optimizer):
             g = p.grad
             if g is None:
                 continue
-            if self.weight_decay:
-                g = g + self.weight_decay * p.data
             m, v = self._m[i], self._v[i]
             if m is None:
                 m = self._m[i] = np.zeros_like(p.data)
                 v = self._v[i] = np.zeros_like(p.data)
-            m *= self.beta1
-            m += (1.0 - self.beta1) * g
-            v *= self.beta2
-            v += (1.0 - self.beta2) * np.square(g)
-            denom = np.sqrt(v / bc2)
-            denom += self.eps
-            p.data -= np.asarray(self.lr / bc1, dtype=p.data.dtype) * m / denom
+            be.adam_update(
+                p.data, g, m, v, self.lr, self.beta1, self.beta2, self.eps,
+                bc1, bc2, self.weight_decay,
+            )

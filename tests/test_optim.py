@@ -134,11 +134,21 @@ def test_optimizer_skips_frozen_parameters():
     np.testing.assert_allclose(frozen.data, np.ones(2))
 
 
+def test_optimizer_with_no_trainable_params_warns_and_noops():
+    # Fully-frozen fine-tuning/eval pipelines must not crash: the optimizer
+    # degrades to a warned no-op (see also the regression tests in
+    # tests/test_backend.py).
+    frozen = Tensor(np.ones(2))
+    with pytest.warns(UserWarning, match="no trainable"):
+        opt = nn.optim.SGD([frozen], lr=0.1)
+    opt.step()
+    opt.zero_grad()
+    np.testing.assert_allclose(frozen.data, np.ones(2))
+    with pytest.warns(UserWarning, match="no trainable"):
+        nn.optim.Adam([], lr=0.1).step()
+
+
 def test_optimizer_validates_inputs():
-    with pytest.raises(ValueError, match="no trainable"):
-        nn.optim.SGD([], lr=0.1)
-    with pytest.raises(ValueError, match="no trainable"):
-        nn.optim.SGD([Tensor(np.ones(2))], lr=0.1)  # all-frozen list
     with pytest.raises(TypeError, match="non-Tensor"):
         nn.optim.SGD([np.ones(2)], lr=0.1)
     with pytest.raises(ValueError, match="nesterov"):
