@@ -26,6 +26,17 @@ Workloads
     A full ``repro.models.TBNet`` two-branch train step (conv + batch-norm +
     dropout branches, fused head, Adam) on synthetic data — the reference
     model's end-to-end step time.
+``tbnet_infer``
+    Eval-mode TBNet forward: eager ``no_grad`` dispatch vs. the compiled
+    ``repro.serve`` replay of the captured trace (pre-allocated buffers,
+    fused composites, no tape).  Ratios land in the JSON's ``inference``
+    section; > 1.0 means compiled replay beats eager.  Measured at batch 1
+    (latency serving, overhead-dominated) and the conv batch.
+``fusion_chain``
+    A linear+relu / mul+add+relu chain trained with the trace-time fusion
+    pass off vs. on (``repro.autograd.fusion``) — the per-step cost of the
+    rewrite pass against the nodes it saves.  Ratios land in the ``fusion``
+    section.
 
 Every repro-engine workload runs once per **array backend** (``--backend``,
 default: every registered backend), so the JSON records per-backend numbers:
@@ -62,9 +73,10 @@ for _p in (os.path.join(_ROOT, "src"), _ROOT):
         sys.path.insert(0, _p)
 
 from benchmarks import _seed_tensor as seed_engine  # noqa: E402
-from repro import nn  # noqa: E402
+from repro import nn, serve  # noqa: E402
 from repro.autograd import Tensor as NewTensor  # noqa: E402
 from repro.autograd import functional as F  # noqa: E402
+from repro.autograd import fusion, no_grad  # noqa: E402
 from repro.backend import available_backends, use_backend  # noqa: E402
 from repro.models import TBNet, make_synthetic_batch  # noqa: E402
 
@@ -215,6 +227,58 @@ def build_tbnet_step(batch: int, rng: np.random.Generator) -> Callable[[], float
 
     def step() -> float:
         return model.train_step(opt, images, context, targets)
+
+    return step
+
+
+def build_tbnet_infer_step(mode: str, batch: int, rng: np.random.Generator) -> Callable[[], float]:
+    """Eval-mode TBNet forward: eager ``no_grad`` vs. compiled trace replay."""
+    model = TBNet(width=16, rng=rng)
+    model.eval()
+    images, context, _ = make_synthetic_batch(batch, rng=rng)
+
+    if mode == "compiled":
+        session = serve.compile_inference(model, (images, context))
+
+        def step() -> float:
+            return float(session.run(images, context)[0, 0])
+
+        return step
+
+    def step() -> float:
+        with no_grad():
+            return float(model(images, context).data[0, 0])
+
+    return step
+
+
+def build_fusion_chain_step(
+    fused: bool, batch: int, rng: np.random.Generator, width: int = 128, depth: int = 3
+) -> Callable[[], float]:
+    """Forward+backward over fusable chains, with the rewrite pass off/on."""
+    params: List[NewTensor] = []
+    layers = []
+    for _ in range(depth):
+        w = NewTensor(rng.standard_normal((width, width)).astype(np.float32) / np.sqrt(width), requires_grad=True)
+        b = NewTensor(np.zeros(width, dtype=np.float32), requires_grad=True)
+        layers.append((w, b))
+        params += [w, b]
+    scale = NewTensor(rng.standard_normal(width).astype(np.float32), requires_grad=True)
+    shift = NewTensor(rng.standard_normal(width).astype(np.float32), requires_grad=True)
+    params += [scale, shift]
+    x_np = rng.standard_normal((batch, width)).astype(np.float32)
+
+    def step() -> float:
+        with fusion.using_fusion(fused):
+            h = NewTensor(x_np)
+            for w, b in layers:
+                h = F.linear(h, w, b).relu()  # linear+relu chains
+            h = (h * scale + shift).relu()  # mul+add chain
+            loss = (h * h).mean()
+            loss.backward()
+        for p in params:
+            p.zero_grad()
+        return float(loss.data)
 
     return step
 
@@ -374,6 +438,27 @@ def main(argv=None) -> int:
         max(1, inner // 2),
     )
 
+    # Serving: eager no_grad vs compiled replay, at the latency-serving batch
+    # (1, overhead-dominated like the paper's short-block workloads) and the
+    # conv batch.
+    infer_batches = [1, tbnet_batch] if not quick else [tbnet_batch]
+    for batch in infer_batches:
+        for mode in ("eager", "compiled"):
+            record_backends(
+                "tbnet_infer", mode, batch,
+                lambda m=mode, b=batch: build_tbnet_infer_step(m, b, np.random.default_rng(6000 + b)),
+                inner,
+            )
+
+    # Trace-time fusion: the rewrite pass off vs on over fusable chains.
+    fusion_batch = batches[0]
+    for mode in ("unfused", "fused"):
+        record_backends(
+            "fusion_chain", mode, fusion_batch,
+            lambda m=mode: build_fusion_chain_step(m == "fused", fusion_batch, np.random.default_rng(7000)),
+            inner,
+        )
+
     # Headline speedups keep their historical keys and semantics (seed engine
     # vs. repro); the repro side is the fused backend when it was measured,
     # since the fused backend is the successor of the old inline kernels.
@@ -412,6 +497,31 @@ def main(argv=None) -> int:
                 key = f"{r['workload']}/{r['engine']}/batch{r['batch']}"
                 backend_speedups[key] = r["best_ms"] / twin["best_ms"]
 
+    def _paired_ratio(workload: str, num_engine: str, den_engine: str) -> Dict[str, float]:
+        """Per-backend/batch best-of ratios between two engines of a workload."""
+        ratios = {}
+        for r in results:
+            if r["workload"] != workload or r["engine"] != num_engine:
+                continue
+            twin = next(
+                (
+                    s for s in results
+                    if s["workload"] == workload and s["engine"] == den_engine
+                    and (s["backend"], s["batch"]) == (r["backend"], r["batch"])
+                ),
+                None,
+            )
+            if twin is not None:
+                key = f"{workload}/{r['backend']}/batch{r['batch']}"
+                ratios[key] = r["best_ms"] / twin["best_ms"]
+        return ratios
+
+    # Serving section: eager-vs-compiled per backend/batch (> 1.0 means the
+    # compiled replay beats the eager no_grad forward).
+    inference = _paired_ratio("tbnet_infer", "eager", "compiled")
+    # Fusion section: unfused-vs-fused backward over the same chains.
+    fusion_ratios = _paired_ratio("fusion_chain", "unfused", "fused")
+
     # Module-vs-functional ratios are overhead measurements, not seed-engine
     # speedups, so they live under their own key: the ROADMAP's "beat the
     # speedups" rule must not treat them as a perf trajectory.
@@ -427,7 +537,7 @@ def main(argv=None) -> int:
             overhead[f"nn_mlp/batch{batch}"] = times["functional"] / times["module"]
 
     report = {
-        "schema": "bench_autograd/v2",
+        "schema": "bench_autograd/v3",
         "meta": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -452,6 +562,8 @@ def main(argv=None) -> int:
         "speedups": speedups,
         "backends": backend_speedups,
         "overhead": overhead,
+        "inference": inference,
+        "fusion": fusion_ratios,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -462,6 +574,10 @@ def main(argv=None) -> int:
         print(f"  backend {key}: {value:.2f}x (numpy/fused)")
     for key, value in sorted(overhead.items()):
         print(f"  overhead {key}: {value:.2f}x (functional/module)")
+    for key, value in sorted(inference.items()):
+        print(f"  inference {key}: {value:.2f}x (eager/compiled)")
+    for key, value in sorted(fusion_ratios.items()):
+        print(f"  fusion {key}: {value:.2f}x (unfused/fused)")
     return 0
 
 

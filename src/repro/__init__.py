@@ -5,12 +5,16 @@ Layers:
 - :mod:`repro.backend` — the swappable ndarray backend registry: the
   ``numpy`` reference and the ``fused`` in-place backend behind one
   ``ArrayBackend`` surface, plus the process-wide seeded generator.
-- :mod:`repro.autograd` — the define-by-run tape engine and dense kernels,
-  dispatching all numerical work through the active backend.
+- :mod:`repro.autograd` — the define-by-run tape engine (reified as a graph
+  IR of explicit nodes), the dense kernels, and the trace-time fusion pass
+  (:mod:`repro.autograd.fusion`), dispatching all numerical work through the
+  active backend.
 - :mod:`repro.nn` — Module/Parameter containers, layers, init schemes and
   optimizers over the fused kernels.
 - :mod:`repro.models` — reference models; :class:`~repro.models.tbnet.TBNet`
   is the paper's two-branch network.
+- :mod:`repro.serve` — compiled ``no_grad`` inference: capture one eval
+  trace, replay it over new batches with pre-allocated reused buffers.
 """
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"

@@ -13,6 +13,8 @@ the TBNet algorithms read like the paper's pseudo-code.
 
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
 from repro.autograd import functional
+from repro.autograd import ir
+from repro.autograd import fusion
 from repro.autograd.grad_check import numerical_gradient, check_gradients
 
 __all__ = [
@@ -20,6 +22,8 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "functional",
+    "ir",
+    "fusion",
     "numerical_gradient",
     "check_gradients",
 ]

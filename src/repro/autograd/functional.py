@@ -38,6 +38,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.backend import default_rng, get_backend
+from repro.autograd import ir
 from repro.autograd.tensor import Tensor
 
 __all__ = [
@@ -143,6 +144,53 @@ def col2im(
 
 
 # --------------------------------------------------------------------------- #
+# Shared forward cores
+#
+# The trace kernels and the IR forward evaluators (graph replay) run the
+# *same* code, so a replayed node is bit-identical to the eager computation.
+# --------------------------------------------------------------------------- #
+def _conv2d_forward(
+    be, xd: np.ndarray, wd: np.ndarray, bd: Optional[np.ndarray],
+    sh: int, sw: int, ph: int, pw: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """NCHW cross-correlation core; returns ``(out, window_view)``."""
+    kh, kw = wd.shape[2], wd.shape[3]
+    xp = _pad_hw(be, xd, ph, pw)
+    win = be.sliding_windows(xp, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw) view into xp
+    # Contract channels and kernel footprint in one GEMM: -> (N, OH, OW, O).
+    out = be.tensordot(win, wd, axes=((1, 4, 5), (1, 2, 3)))
+    out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+    if bd is not None:
+        out += bd.reshape(1, -1, 1, 1)
+    return out, win
+
+
+def _max_pool2d_forward(
+    be, xd: np.ndarray, kh: int, kw: int, sh: int, sw: int, ph: int, pw: int
+) -> Tuple[np.ndarray, np.ndarray, Tuple[int, ...]]:
+    """Max-pool core; returns ``(out, argmax_indices, padded_shape)``."""
+    n, c, h, w = xd.shape
+    oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
+    # Pad with -inf so padded positions never win the max.
+    xp = _pad_hw(be, xd, ph, pw, value=-np.inf)
+    win = be.sliding_windows(xp, kh, kw, sh, sw)
+    flat = win.reshape(n, c, oh, ow, kh * kw)  # materializes the windows once
+    arg = be.argmax(flat, axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    return np.ascontiguousarray(out), arg, xp.shape
+
+
+def _avg_pool2d_forward(
+    be, xd: np.ndarray, kh: int, kw: int, sh: int, sw: int, ph: int, pw: int
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Average-pool core; returns ``(out, padded_shape)``."""
+    xp = _pad_hw(be, xd, ph, pw)
+    win = be.sliding_windows(xp, kh, kw, sh, sw)
+    out = np.ascontiguousarray(be.mean(win, axis=(4, 5)))
+    return out, xp.shape
+
+
+# --------------------------------------------------------------------------- #
 # Dense layers
 # --------------------------------------------------------------------------- #
 def linear(x, weight, bias=None) -> Tensor:
@@ -172,20 +220,29 @@ def linear(x, weight, bias=None) -> Tensor:
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
-            g = out_t.grad
-            if x_t.requires_grad:
-                x_t._accumulate_fresh(be.matmul(g, w_t.data.swapaxes(-1, -2)))
-            if w_t.requires_grad:
-                dw = be.matmul(x_t.data.swapaxes(-1, -2), g)
-                if dw.ndim > w_t.data.ndim:  # batched input: sum leading dims
-                    dw = be.sum(dw, axis=tuple(range(dw.ndim - w_t.data.ndim)))
-                w_t._accumulate_fresh(dw)
-            if b_t is not None and b_t.requires_grad:
-                b_t._accumulate_fresh(be.sum(g, axis=tuple(range(g.ndim - 1))))
+            linear_backward(be, out_t.grad, x_t, w_t, b_t)
 
         return _backward
 
-    return Tensor._make(out, parents, "linear", make_backward)
+    return Tensor._make(out, parents, "linear", make_backward, be=be)
+
+
+def linear_backward(be, g: np.ndarray, x_t: Tensor, w_t: Tensor, b_t: Optional[Tensor]) -> None:
+    """Accumulate the affine map's three adjoints for incoming grad ``g``.
+
+    Shared by the ``linear`` tape node and the fused ``linear_relu`` node
+    (:mod:`repro.autograd.fusion`), which calls it with the relu-masked
+    gradient — one definition, so a backward fix reaches both.
+    """
+    if x_t.requires_grad:
+        x_t._accumulate_fresh(be.matmul(g, w_t.data.swapaxes(-1, -2)))
+    if w_t.requires_grad:
+        dw = be.matmul(x_t.data.swapaxes(-1, -2), g)
+        if dw.ndim > w_t.data.ndim:  # batched input: sum leading dims
+            dw = be.sum(dw, axis=tuple(range(dw.ndim - w_t.data.ndim)))
+        w_t._accumulate_fresh(dw)
+    if b_t is not None and b_t.requires_grad:
+        b_t._accumulate_fresh(be.sum(g, axis=tuple(range(g.ndim - 1))))
 
 
 # --------------------------------------------------------------------------- #
@@ -221,13 +278,9 @@ def conv2d(
     n, _, h, w = xd.shape
     oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
 
-    xp = _pad_hw(be, xd, ph, pw)
-    win = be.sliding_windows(xp, kh, kw, sh, sw)  # (N, C, OH, OW, kh, kw) view into xp
-    # Contract channels and kernel footprint in one GEMM: -> (N, OH, OW, O).
-    out = be.tensordot(win, wd, axes=((1, 4, 5), (1, 2, 3)))
-    out = np.ascontiguousarray(out.transpose(0, 3, 1, 2))
-    if b_t is not None:
-        out += b_t.data.reshape(1, -1, 1, 1)
+    out, win = _conv2d_forward(
+        be, xd, wd, b_t.data if b_t is not None else None, sh, sw, ph, pw
+    )
 
     parents = (x_t, w_t) if b_t is None else (x_t, w_t, b_t)
 
@@ -253,7 +306,10 @@ def conv2d(
 
         return _backward
 
-    return Tensor._make(out, parents, "conv2d", make_backward)
+    return Tensor._make(
+        out, parents, "conv2d", make_backward,
+        attrs={"stride": (sh, sw), "padding": (ph, pw)}, be=be,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -273,14 +329,8 @@ def max_pool2d(
     n, c, h, w = xd.shape
     oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
 
-    # Pad with -inf so padded positions never win the max.
-    xp = _pad_hw(be, xd, ph, pw, value=-np.inf)
-    win = be.sliding_windows(xp, kh, kw, sh, sw)
-    flat = win.reshape(n, c, oh, ow, kh * kw)  # materializes the windows once
-    arg = be.argmax(flat, axis=-1)
-    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
-    out = np.ascontiguousarray(out)
-    xp_shape = xp.shape  # closure needs only the shape, not the padded copy
+    # xp_shape: the closure needs only the padded shape, not the padded copy.
+    out, arg, xp_shape = _max_pool2d_forward(be, xd, kh, kw, sh, sw, ph, pw)
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
@@ -302,7 +352,10 @@ def max_pool2d(
 
         return _backward
 
-    return Tensor._make(out, (x_t,), "max_pool2d", make_backward)
+    return Tensor._make(
+        out, (x_t,), "max_pool2d", make_backward,
+        attrs={"kernel_size": (kh, kw), "stride": (sh, sw), "padding": (ph, pw)}, be=be,
+    )
 
 
 def avg_pool2d(
@@ -319,11 +372,9 @@ def avg_pool2d(
     n, c, h, w = xd.shape
     oh, ow = _out_hw(h, w, kh, kw, sh, sw, ph, pw)
 
-    xp = _pad_hw(be, xd, ph, pw)
-    win = be.sliding_windows(xp, kh, kw, sh, sw)
-    out = np.ascontiguousarray(be.mean(win, axis=(4, 5)))
+    # xp_shape: the closure needs only the padded shape, not the padded copy.
+    out, xp_shape = _avg_pool2d_forward(be, xd, kh, kw, sh, sw, ph, pw)
     inv_area = 1.0 / (kh * kw)
-    xp_shape = xp.shape  # closure needs only the shape, not the padded copy
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
@@ -346,7 +397,10 @@ def avg_pool2d(
 
         return _backward
 
-    return Tensor._make(out, (x_t,), "avg_pool2d", make_backward)
+    return Tensor._make(
+        out, (x_t,), "avg_pool2d", make_backward,
+        attrs={"kernel_size": (kh, kw), "stride": (sh, sw), "padding": (ph, pw)}, be=be,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -436,24 +490,66 @@ def batch_norm(
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
-            g = out_t.grad
-            if b_t is not None and b_t.requires_grad:
-                b_t._accumulate_fresh(be.sum(g, axis=axes))
-            if w_t is not None and w_t.requires_grad:
-                w_t._accumulate_fresh(be.sum(be.multiply(g, xhat), axis=axes))
-            if not x_t.requires_grad:
-                return
-            dxhat = be.multiply(g, w_t.data.reshape(bshape)) if w_t is not None else g
-            if use_batch_stats:
-                # Batch statistics depend on x: the full three-term adjoint.
-                x_t._accumulate_fresh(be.bn_input_grad(dxhat, xhat, inv_std, axes, bshape))
-            else:
-                # Running statistics are constants: pure elementwise scaling.
-                x_t._accumulate_fresh(be.multiply(dxhat, inv_std.reshape(bshape)))
+            batch_norm_backward(
+                be, out_t.grad, x_t, w_t, b_t, xhat, inv_std, axes, bshape, use_batch_stats
+            )
 
         return _backward
 
-    return Tensor._make(out, parents, "batch_norm", make_backward)
+    return Tensor._make(
+        out, parents, "batch_norm", make_backward,
+        attrs={
+            "training": training,
+            "use_batch_stats": use_batch_stats,
+            "axes": axes,
+            "bshape": bshape,
+            "eps": eps,
+            # In eval mode ``mean`` can be the module's live running_mean
+            # buffer (np.asarray is a no-copy passthrough): snapshot it so
+            # later in-place stat updates cannot leak into a saved trace
+            # whose inv_std is already frozen.
+            "mean": mean if use_batch_stats else mean.copy(),
+            "inv_std": inv_std,
+            "xhat": xhat,
+            "has_weight": w_t is not None,
+            "has_bias": b_t is not None,
+        },
+        be=be,
+    )
+
+
+def batch_norm_backward(
+    be,
+    g: np.ndarray,
+    x_t: Tensor,
+    w_t: Optional[Tensor],
+    b_t: Optional[Tensor],
+    xhat: np.ndarray,
+    inv_std: np.ndarray,
+    axes,
+    bshape,
+    use_batch_stats: bool,
+) -> None:
+    """Accumulate batch-norm's adjoints for incoming grad ``g``.
+
+    Shared by the ``batch_norm`` tape node and the fused
+    ``batch_norm_relu`` node (:mod:`repro.autograd.fusion`), which calls it
+    with the relu-masked gradient — one definition, so a backward fix
+    reaches both.
+    """
+    if b_t is not None and b_t.requires_grad:
+        b_t._accumulate_fresh(be.sum(g, axis=axes))
+    if w_t is not None and w_t.requires_grad:
+        w_t._accumulate_fresh(be.sum(be.multiply(g, xhat), axis=axes))
+    if not x_t.requires_grad:
+        return
+    dxhat = be.multiply(g, w_t.data.reshape(bshape)) if w_t is not None else g
+    if use_batch_stats:
+        # Batch statistics depend on x: the full three-term adjoint.
+        x_t._accumulate_fresh(be.bn_input_grad(dxhat, xhat, inv_std, axes, bshape))
+    else:
+        # Running statistics are constants: pure elementwise scaling.
+        x_t._accumulate_fresh(be.multiply(dxhat, inv_std.reshape(bshape)))
 
 
 def dropout(
@@ -493,7 +589,10 @@ def dropout(
 
         return _backward
 
-    return Tensor._make(be.multiply(xd, mask), (x_t,), "dropout", make_backward)
+    return Tensor._make(
+        be.multiply(xd, mask), (x_t,), "dropout", make_backward,
+        attrs={"mask": mask, "p": p}, be=be,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -512,7 +611,9 @@ def softmax(x, axis: int = -1) -> Tensor:
 
         return _backward
 
-    return Tensor._make(probs, (x_t,), "softmax", make_backward)
+    return Tensor._make(
+        probs, (x_t,), "softmax", make_backward, attrs={"axis": axis}, be=be
+    )
 
 
 def log_softmax(x, axis: int = -1) -> Tensor:
@@ -528,7 +629,9 @@ def log_softmax(x, axis: int = -1) -> Tensor:
 
         return _backward
 
-    return Tensor._make(logp, (x_t,), "log_softmax", make_backward)
+    return Tensor._make(
+        logp, (x_t,), "log_softmax", make_backward, attrs={"axis": axis}, be=be
+    )
 
 
 def softmax_cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
@@ -546,32 +649,19 @@ def softmax_cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
     x_t = Tensor._wrap(logits)
     idx = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
     idx = idx.astype(np.int64).reshape(-1)
-    if x_t.data.ndim != 2 or idx.shape[0] != x_t.data.shape[0]:
-        raise ValueError("softmax_cross_entropy expects (N, C) logits and (N,) targets")
-    if idx.shape[0] == 0 and reduction == "mean":
-        # The mean of an empty batch is 0/0 (nan forward, zero division in
-        # the backward scale); sum/none stay well-defined on N=0.
-        raise ValueError(
-            "softmax_cross_entropy got an empty batch (N=0); the mean loss "
-            "is undefined — use reduction='sum' or 'none' for empty shards"
-        )
-    n_classes = x_t.data.shape[1]
-    if idx.size and (idx.min() < 0 or idx.max() >= n_classes):
-        raise ValueError(
-            f"softmax_cross_entropy targets must be class indices in "
-            f"[0, {n_classes}), got values in [{idx.min()}, {idx.max()}]"
-        )
-    n = idx.shape[0]
-    rows = np.arange(n)
-
-    logp = be.log_softmax(x_t.data, -1)
-    losses = -logp[rows, idx]
-    if reduction == "mean":
-        out = losses.mean(dtype=losses.dtype)
-    elif reduction == "sum":
-        out = losses.sum(dtype=losses.dtype)
+    # Targets are a data-dependent *input* of the node (unlike structural
+    # attrs): replaying the trace over a new batch must bind new labels, so
+    # they ride along as a non-differentiable integer parent tensor.  When
+    # the caller handed us a Tensor, that very object is the parent — a
+    # captured trace then maps it to a replay input slot instead of
+    # freezing the trace-time labels in.
+    if isinstance(targets, Tensor) and not targets.requires_grad:
+        t_t = targets
     else:
-        out = losses
+        t_t = Tensor(idx, dtype=np.int64)
+
+    out, logp, rows = _softmax_cross_entropy_forward(be, x_t.data, idx, reduction)
+    n = idx.shape[0]
 
     def make_backward(out_t: Tensor):
         def _backward() -> None:
@@ -589,4 +679,128 @@ def softmax_cross_entropy(logits, targets, reduction: str = "mean") -> Tensor:
 
         return _backward
 
-    return Tensor._make(np.asarray(out), (x_t,), "softmax_cross_entropy", make_backward)
+    return Tensor._make(
+        out, (x_t, t_t), "softmax_cross_entropy", make_backward,
+        attrs={"reduction": reduction}, be=be,
+    )
+
+
+def _softmax_cross_entropy_forward(be, logits: np.ndarray, idx: np.ndarray, reduction: str):
+    """Shared validation + loss core; returns ``(out, logp, rows)``.
+
+    One definition serves the trace kernel and the IR replay evaluator, so
+    a fix to the loss math or its guards reaches both.
+    """
+    if logits.ndim != 2 or idx.shape[0] != logits.shape[0]:
+        raise ValueError("softmax_cross_entropy expects (N, C) logits and (N,) targets")
+    if idx.shape[0] == 0 and reduction == "mean":
+        # The mean of an empty batch is 0/0 (nan forward, zero division in
+        # the backward scale); sum/none stay well-defined on N=0.
+        raise ValueError(
+            "softmax_cross_entropy got an empty batch (N=0); the mean loss "
+            "is undefined — use reduction='sum' or 'none' for empty shards"
+        )
+    n_classes = logits.shape[1]
+    if idx.size and (idx.min() < 0 or idx.max() >= n_classes):
+        raise ValueError(
+            f"softmax_cross_entropy targets must be class indices in "
+            f"[0, {n_classes}), got values in [{idx.min()}, {idx.max()}]"
+        )
+    rows = np.arange(idx.shape[0])
+    logp = be.log_softmax(logits, -1)
+    losses = -logp[rows, idx]
+    if reduction == "mean":
+        out = losses.mean(dtype=losses.dtype)
+    elif reduction == "sum":
+        out = losses.sum(dtype=losses.dtype)
+    else:
+        out = losses
+    return np.asarray(out), logp, rows
+
+
+# --------------------------------------------------------------------------- #
+# IR forward evaluators
+#
+# Each replays a recorded node's forward from its saved attrs over new input
+# arrays, through the exact same core the trace kernel ran — graph replay
+# (repro.serve) is therefore bit-identical to the eager computation.
+# --------------------------------------------------------------------------- #
+def _bn_replay_stats(be, xd: np.ndarray, attrs: dict) -> Tuple[np.ndarray, np.ndarray]:
+    """``(mean, inv_std)`` for replaying a recorded batch-norm node."""
+    if attrs["training"]:
+        raise RuntimeError(
+            "cannot replay a train-mode batch_norm node: replaying would "
+            "re-update the running statistics; capture the trace in eval mode"
+        )
+    if attrs["use_batch_stats"]:
+        # Eval without running statistics: the batch-statistics fallback is
+        # recomputed from the new input, like the eager kernel does.
+        mean = be.mean(xd, axis=attrs["axes"])
+        var = be.var(xd, axis=attrs["axes"])
+        return mean, 1.0 / np.sqrt(var + attrs["eps"])
+    # Running statistics are frozen constants of the trace.
+    return attrs["mean"], attrs["inv_std"]
+
+
+def _bn_affine_inputs(inputs, attrs) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    """Extract ``(gamma, beta)`` from a batch-norm node's input arrays."""
+    gamma = inputs[1] if attrs["has_weight"] else None
+    if attrs["has_bias"]:
+        beta = inputs[2] if attrs["has_weight"] else inputs[1]
+    else:
+        beta = None
+    return gamma, beta
+
+
+@ir.register_forward("linear")
+def _eval_linear(be, inputs, attrs):
+    return be.linear(inputs[0], inputs[1], inputs[2] if len(inputs) == 3 else None)
+
+
+@ir.register_forward("conv2d")
+def _eval_conv2d(be, inputs, attrs):
+    (sh, sw), (ph, pw) = attrs["stride"], attrs["padding"]
+    bd = inputs[2] if len(inputs) == 3 else None
+    return _conv2d_forward(be, inputs[0], inputs[1], bd, sh, sw, ph, pw)[0]
+
+
+@ir.register_forward("max_pool2d")
+def _eval_max_pool2d(be, inputs, attrs):
+    (kh, kw), (sh, sw), (ph, pw) = attrs["kernel_size"], attrs["stride"], attrs["padding"]
+    return _max_pool2d_forward(be, inputs[0], kh, kw, sh, sw, ph, pw)[0]
+
+
+@ir.register_forward("avg_pool2d")
+def _eval_avg_pool2d(be, inputs, attrs):
+    (kh, kw), (sh, sw), (ph, pw) = attrs["kernel_size"], attrs["stride"], attrs["padding"]
+    return _avg_pool2d_forward(be, inputs[0], kh, kw, sh, sw, ph, pw)[0]
+
+
+@ir.register_forward("batch_norm")
+def _eval_batch_norm(be, inputs, attrs):
+    xd = inputs[0]
+    mean, inv_std = _bn_replay_stats(be, xd, attrs)
+    gamma, beta = _bn_affine_inputs(inputs, attrs)
+    return be.bn_normalize(xd, mean, inv_std, gamma, beta, attrs["bshape"])[1]
+
+
+@ir.register_forward("dropout")
+def _eval_dropout(be, inputs, attrs):
+    # Deterministic replay of the mask drawn at trace time.
+    return be.multiply(inputs[0], attrs["mask"])
+
+
+@ir.register_forward("softmax")
+def _eval_softmax(be, inputs, attrs):
+    return be.softmax(inputs[0], attrs["axis"])
+
+
+@ir.register_forward("log_softmax")
+def _eval_log_softmax(be, inputs, attrs):
+    return be.log_softmax(inputs[0], attrs["axis"])
+
+
+@ir.register_forward("softmax_cross_entropy")
+def _eval_softmax_cross_entropy(be, inputs, attrs):
+    idx = inputs[1].astype(np.int64).reshape(-1)
+    return _softmax_cross_entropy_forward(be, inputs[0], idx, attrs["reduction"])[0]

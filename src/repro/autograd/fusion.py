@@ -1,0 +1,387 @@
+"""Trace-time fusion: a pattern-matching rewrite pass over the graph IR.
+
+The pass walks the node graph reachable from a root tensor (in topological
+order) and collapses matched producer→consumer chains into single fused
+nodes dispatching to the composite :class:`~repro.backend.base.ArrayBackend`
+methods:
+
+====================  ==================  =================================
+pattern               fused op            backend composite
+====================  ==================  =================================
+``linear`` → ``relu``  ``linear_relu``     :meth:`ArrayBackend.linear_relu`
+``mul`` → ``add``      ``mul_add``         :meth:`ArrayBackend.mul_add`
+``add`` → ``relu``     ``add_relu``        :meth:`ArrayBackend.add_relu`
+``batch_norm``→``relu``  ``batch_norm_relu``  :meth:`ArrayBackend.bn_normalize_relu`
+====================  ==================  =================================
+
+A chain is fused only when the producer's output is consumed by exactly one
+node of the walked graph, so gradient accumulation order — and therefore
+every leaf gradient — stays **bit-identical** to the unfused tape: the fused
+backward thunks run the exact op sequence of the two separate thunks, on the
+backends the nodes captured at trace time.  The only observable difference
+is that the fused-away intermediate tensor no longer receives a transient
+``.grad`` (it is bypassed entirely, like PyTorch's non-leaf tensors).
+
+When to run
+-----------
+- **Before ``backward()``** (automatic): with fusion enabled,
+  :meth:`Tensor.backward` runs the pass once per freshly recorded graph
+  before toposorting it, so every training step backpropagates through the
+  fused chains.  Enable with the ``REPRO_FUSION`` environment variable
+  (anything but ``0/off/false/no``), programmatically with
+  :func:`enable_fusion`, or scoped with :func:`using_fusion`.
+- **At trace time** (explicit): call :func:`fuse` on a freshly traced output
+  (or on the output of an :func:`repro.autograd.ir.capture` block) to
+  rewrite the graph before anything else consumes it.  The serving compiler
+  (:func:`repro.serve.compile_inference`) does exactly this, and its
+  executor then dispatches the fused *forward* composites, collapsing
+  node-dispatch and temporary-allocation overhead on the replay hot path.
+
+Fused nodes register forward evaluators in the IR registry, so a fused
+captured trace replays like any other.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, Optional
+
+from repro.autograd import ir
+from repro.autograd.functional import (
+    _bn_affine_inputs,
+    _bn_replay_stats,
+    batch_norm_backward,
+    linear_backward,
+)
+from repro.autograd.tensor import Tensor, _unbroadcast
+from repro.backend import get_backend
+
+__all__ = [
+    "FUSED_OPS",
+    "enable_fusion",
+    "fuse",
+    "fusion_enabled",
+    "using_fusion",
+]
+
+#: Ops produced by this pass (also the keys of the fusion-count stats).
+FUSED_OPS = ("linear_relu", "mul_add", "add_relu", "batch_norm_relu")
+
+_FALSY = ("", "0", "off", "false", "no")
+
+#: Programmatic override of the REPRO_FUSION environment toggle.
+_OVERRIDE: Optional[bool] = None
+
+
+def fusion_enabled() -> bool:
+    """Whether ``backward()`` runs the rewrite pass automatically.
+
+    :func:`enable_fusion` / :func:`using_fusion` take precedence; otherwise
+    the ``REPRO_FUSION`` environment variable decides (off by default).
+    """
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return os.environ.get("REPRO_FUSION", "").strip().lower() not in _FALSY
+
+
+def enable_fusion(flag: Optional[bool]) -> None:
+    """Force fusion on (``True``), off (``False``) or back to the
+    ``REPRO_FUSION`` environment default (``None``)."""
+    global _OVERRIDE
+    _OVERRIDE = flag
+
+
+@contextlib.contextmanager
+def using_fusion(flag: bool):
+    """Scoped :func:`enable_fusion`, restoring the previous override."""
+    global _OVERRIDE
+    previous = _OVERRIDE
+    _OVERRIDE = bool(flag)
+    try:
+        yield
+    finally:
+        _OVERRIDE = previous
+
+
+def _node_backend(node: ir.GraphNode):
+    """The backend a fused thunk must run on: the node's trace-time backend."""
+    return node.be if node.be is not None else get_backend()
+
+
+#: Composite methods a backend must provide before its nodes may be fused.
+#: The pre-IR ``ArrayBackend`` surface did not include them, so a
+#: third-party backend that predates (or skips) the composites simply gets
+#: no fusion instead of an AttributeError mid-backward or mid-replay.
+_COMPOSITE_METHODS = ("relu_grad", "linear_relu", "mul_add", "add_relu", "bn_normalize_relu")
+
+
+def _supports_composites(node: ir.GraphNode) -> bool:
+    be = _node_backend(node)
+    return all(hasattr(be, method) for method in _COMPOSITE_METHODS)
+
+
+# --------------------------------------------------------------------------- #
+# The rewrite pass
+# --------------------------------------------------------------------------- #
+def fuse(root: Tensor) -> Dict[str, int]:
+    """Collapse fusable chains reachable from ``root``; returns counts per op.
+
+    Safe to call on any traced tensor: training graphs (backward thunks are
+    fused too) and captured ``no_grad`` traces (forward-only nodes) alike.
+    Tensors shared with *other* graphs are never mutated — a fused chain
+    bypasses its producer node rather than rewriting it, so other consumers
+    of the producer's output keep working.
+    """
+    root_node = root._node
+    if root_node is None:
+        return {}
+    # Training graphs are walked the way backward() will walk them (pruning
+    # backward-less parents); captured no_grad traces are walked fully.
+    nodes = ir.toposort(root_node, backward_only=root_node.backward is not None)
+    return _fuse_nodes(nodes, root)[0]
+
+
+def fuse_for_backward(root: Tensor):
+    """The pass as ``backward()`` invokes it: returns a reusable topo list.
+
+    Each rewrite splices the fused node into the consumer's slot of the
+    pass's own topological walk (and blanks the bypassed producer's slot),
+    so the post-rewrite order is returned ready to run — ``backward()``
+    never walks the graph a second time.  ``None`` only when there is no
+    graph at all.
+    """
+    root_node = root._node
+    if root_node is None:
+        return None
+    nodes = ir.toposort(root_node, backward_only=root_node.backward is not None)
+    return _fuse_nodes(nodes, root)[1]
+
+
+def _fuse_nodes(nodes, root: Tensor):
+    """Pattern-match and rewrite over a prebuilt topological node list.
+
+    Returns ``(counts, topo)`` where ``topo`` is the post-rewrite
+    topological order: a fused node takes its consumer's slot (its inputs
+    are the bypassed producer's inputs, all of which precede the producer,
+    which precedes the consumer — so the order stays valid), and the
+    producer's slot is dropped.
+    """
+    counts: Dict[str, int] = {}
+    node_ids = {id(n) for n in nodes}
+    position = {id(n): i for i, n in enumerate(nodes)}
+    consumers: Dict[int, int] = {}
+    for node in nodes:
+        for t in node.inputs:
+            consumers[id(t)] = consumers.get(id(t), 0) + 1
+
+    # Topological order makes the pass deterministic: in a mul→add→relu
+    # chain the mul+add pair is seen (and fused) first, and the later relu
+    # no longer matches because its producer is now a fused op.
+    for i in range(len(nodes)):
+        node = nodes[i]
+        if node is None or node.out is None:
+            # Spliced out by an earlier rewrite, or freed (this graph was
+            # already backward-ed / shares a freed subgraph): nothing to
+            # rewrite — backward() will hit the raising sentinel if needed.
+            continue
+        producer = None
+        if node.op == "relu":
+            producer = _fusable_producer(node.inputs[0], root, node_ids, consumers)
+            if producer is None:
+                continue
+            if not (_supports_composites(node) and _supports_composites(producer)):
+                continue
+            if producer.op == "linear":
+                _rewrite_linear_relu(producer, node)
+            elif producer.op == "add":
+                _rewrite_add_relu(producer, node)
+            elif producer.op == "batch_norm":
+                _rewrite_batch_norm_relu(producer, node)
+            else:
+                continue
+        elif node.op == "add":
+            for side in (0, 1):
+                candidate = _fusable_producer(node.inputs[side], root, node_ids, consumers)
+                if (
+                    candidate is not None
+                    and candidate.op == "mul"
+                    and _supports_composites(node)
+                    and _supports_composites(candidate)
+                ):
+                    producer = candidate
+                    _rewrite_mul_add(producer, node, side)
+                    break
+            if producer is None:
+                continue
+        else:
+            continue
+        fused = node.out._node
+        counts[fused.op] = counts.get(fused.op, 0) + 1
+        nodes[i] = fused
+        nodes[position[id(producer)]] = None
+    if counts:
+        nodes = [n for n in nodes if n is not None]
+    return counts, nodes
+
+
+def _fusable_producer(
+    tensor: Tensor, root: Tensor, node_ids: set, consumers: Dict[int, int]
+) -> Optional[ir.GraphNode]:
+    """The producer node of ``tensor`` if it may be fused away, else ``None``.
+
+    Requirements: the producer must belong to the walked graph (same
+    gradient-tracking mode, not already rewritten), must not be the root,
+    and its output must be consumed exactly once — a second consumer would
+    change gradient accumulation order (breaking bit-exactness) or lose the
+    intermediate value another part of the graph still needs.
+    """
+    node = tensor._node
+    if node is None or id(node) not in node_ids:
+        return None
+    if node.out is None:
+        # Freed by another root's backward over a shared subgraph: its
+        # inputs/attrs are gone.  Leave it so backward() reaches the
+        # freed-graph sentinel instead of the rewrite crashing.
+        return None
+    if tensor is root:
+        return None
+    if consumers.get(id(tensor)) != 1:
+        return None
+    return node
+
+
+def _install(producer: ir.GraphNode, consumer: ir.GraphNode, fused: ir.GraphNode) -> None:
+    """Hang ``fused`` on the consumer's output tensor, bypassing both nodes.
+
+    The producer node is left *intact* for now (its output tensor still
+    points at it) but recorded on ``fused.bypassed``: when ``backward()``
+    frees the fused node it frees the producer with it, so a later backward
+    through the bypassed intermediate — or through another graph sharing it
+    — hits the freed-graph sentinel exactly as it would have unfused,
+    instead of silently re-running a stale thunk.  The consumer node is
+    referenced by nothing after the rewrite and dies by refcount.
+    """
+    fused.bypassed = (producer,)
+    consumer.out._node = fused
+
+
+def _rewrite_linear_relu(P: ir.GraphNode, C: ir.GraphNode) -> None:
+    """linear → relu  ⇒  linear_relu (one node, three backward GEMM/sum ops)."""
+    x_t, w_t = P.inputs[0], P.inputs[1]
+    b_t = P.inputs[2] if len(P.inputs) == 3 else None
+    out_t = C.out
+    mask = C.attrs["mask"]
+    pbe, cbe = _node_backend(P), _node_backend(C)
+    fused = ir.GraphNode("linear_relu", P.inputs, {"mask": mask}, out_t, be=pbe)
+    if C.backward is not None:
+        def _backward() -> None:
+            # Mask the incoming grad (the relu node's exact op), then run
+            # the kernel's own backward — shared with functional.linear.
+            linear_backward(pbe, cbe.relu_grad(out_t.grad, mask), x_t, w_t, b_t)
+
+        fused.backward = _backward
+    _install(P, C, fused)
+
+
+def _rewrite_mul_add(P: ir.GraphNode, C: ir.GraphNode, side: int) -> None:
+    """mul → add  ⇒  mul_add over ``(a, b, c)`` where ``c`` is the addend."""
+    a_t, b_t = P.inputs
+    c_t = C.inputs[1 - side]
+    out_t = C.out
+    p_shape = P.out.data.shape
+    pbe = _node_backend(P)
+    fused = ir.GraphNode("mul_add", (a_t, b_t, c_t), {"p_shape": p_shape}, out_t, be=pbe)
+    if C.backward is not None:
+        def _backward() -> None:
+            g = out_t.grad
+            # Same phase order as the separate thunks: the add side first
+            # (c), then the mul side (a, b) — identical bit patterns when a
+            # tensor appears on both sides.
+            if c_t.requires_grad:
+                c_t._accumulate_bcast(g)
+            if a_t.requires_grad or b_t.requires_grad:
+                gm = _unbroadcast(g, p_shape)
+                if a_t.requires_grad:
+                    a_t._accumulate_fresh(
+                        _unbroadcast(pbe.multiply(gm, b_t.data), a_t.data.shape)
+                    )
+                if b_t.requires_grad:
+                    b_t._accumulate_fresh(
+                        _unbroadcast(pbe.multiply(gm, a_t.data), b_t.data.shape)
+                    )
+
+        fused.backward = _backward
+    _install(P, C, fused)
+
+
+def _rewrite_add_relu(P: ir.GraphNode, C: ir.GraphNode) -> None:
+    """add → relu  ⇒  add_relu (one node, one masked grad fanned out)."""
+    a_t, b_t = P.inputs
+    out_t = C.out
+    mask = C.attrs["mask"]
+    cbe = _node_backend(C)
+    fused = ir.GraphNode("add_relu", (a_t, b_t), {"mask": mask}, out_t, be=_node_backend(P))
+    if C.backward is not None:
+        def _backward() -> None:
+            gm = cbe.relu_grad(out_t.grad, mask)
+            if a_t.requires_grad:
+                a_t._accumulate_bcast(gm)
+            if b_t.requires_grad:
+                b_t._accumulate_bcast(gm)
+
+        fused.backward = _backward
+    _install(P, C, fused)
+
+
+def _rewrite_batch_norm_relu(P: ir.GraphNode, C: ir.GraphNode) -> None:
+    """batch_norm → relu  ⇒  batch_norm_relu (masked grad into the bn adjoint)."""
+    out_t = C.out
+    mask = C.attrs["mask"]
+    pa = P.attrs
+    x_t = P.inputs[0]
+    w_t = P.inputs[1] if pa["has_weight"] else None
+    b_t = (P.inputs[2] if pa["has_weight"] else P.inputs[1]) if pa["has_bias"] else None
+    xhat, inv_std = pa["xhat"], pa["inv_std"]
+    axes, bshape, batch_stats = pa["axes"], pa["bshape"], pa["use_batch_stats"]
+    pbe, cbe = _node_backend(P), _node_backend(C)
+    attrs = dict(pa)
+    attrs["mask"] = mask
+    fused = ir.GraphNode("batch_norm_relu", P.inputs, attrs, out_t, be=pbe)
+    if C.backward is not None:
+        def _backward() -> None:
+            # Mask the incoming grad, then run the kernel's own backward —
+            # shared with functional.batch_norm.
+            batch_norm_backward(
+                pbe, cbe.relu_grad(out_t.grad, mask),
+                x_t, w_t, b_t, xhat, inv_std, axes, bshape, batch_stats,
+            )
+
+        fused.backward = _backward
+    _install(P, C, fused)
+
+
+# --------------------------------------------------------------------------- #
+# Forward evaluators for the fused ops (graph replay / serving)
+# --------------------------------------------------------------------------- #
+@ir.register_forward("linear_relu")
+def _eval_linear_relu(be, inputs, attrs):
+    return be.linear_relu(inputs[0], inputs[1], inputs[2] if len(inputs) == 3 else None)
+
+
+@ir.register_forward("mul_add")
+def _eval_mul_add(be, inputs, attrs):
+    return be.mul_add(inputs[0], inputs[1], inputs[2])
+
+
+@ir.register_forward("add_relu")
+def _eval_add_relu(be, inputs, attrs):
+    return be.add_relu(inputs[0], inputs[1])
+
+
+@ir.register_forward("batch_norm_relu")
+def _eval_batch_norm_relu(be, inputs, attrs):
+    xd = inputs[0]
+    mean, inv_std = _bn_replay_stats(be, xd, attrs)
+    gamma, beta = _bn_affine_inputs(inputs, attrs)
+    return be.bn_normalize_relu(xd, mean, inv_std, gamma, beta, attrs["bshape"])[1]

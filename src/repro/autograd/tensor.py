@@ -1,10 +1,17 @@
 """A reverse-mode autograd tensor backed by numpy.
 
 The design follows the classic "define-by-run tape" approach: every operation
-on :class:`Tensor` objects produces a new tensor that remembers its parents and
-a closure computing the local vector-Jacobian product.  Calling
-:meth:`Tensor.backward` performs a topological sort of the recorded graph and
-accumulates gradients into ``.grad`` of every tensor that requires them.
+on :class:`Tensor` objects produces a new tensor whose
+:class:`~repro.autograd.ir.GraphNode` records the op name, the parent tensors,
+the saved arrays/attributes and a closure computing the local vector-Jacobian
+product.  Calling :meth:`Tensor.backward` performs a topological sort of the
+recorded node graph and accumulates gradients into ``.grad`` of every tensor
+that requires them.
+
+The explicit node records (rather than bare closures) make the tape a real
+IR: :mod:`repro.autograd.fusion` pattern-matches and rewrites chains of nodes
+before the backward pass, and :mod:`repro.serve` replays captured traces over
+new inputs through the forward-eval registry in :mod:`repro.autograd.ir`.
 
 Hot-path notes
 --------------
@@ -46,6 +53,7 @@ from typing import Callable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.backend import default_rng, get_backend
+from repro.autograd import ir as _ir
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
@@ -108,6 +116,38 @@ def _raise_freed_graph() -> None:
     )
 
 
+def _free_node(node) -> None:
+    """Free one graph node (and any nodes a rewrite bypassed into it)."""
+    while node is not None:
+        if node.backward is not None:
+            node.backward = _raise_freed_graph
+        node.inputs = ()
+        node.attrs = None
+        node.out = None
+        extra = node.bypassed
+        node.bypassed = None
+        if not extra:
+            return
+        # Each rewrite bypasses exactly one producer today; loop in case a
+        # future pass chains deeper, recursing only on true fan-out.
+        for sub in extra[1:]:
+            _free_node(sub)
+        node = extra[0]
+
+
+_fusion_module = None
+
+
+def _get_fusion():
+    """Lazy import of :mod:`repro.autograd.fusion` (it imports this module)."""
+    global _fusion_module
+    if _fusion_module is None:
+        from repro.autograd import fusion
+
+        _fusion_module = fusion
+    return _fusion_module
+
+
 def _normalize_axes(axis, ndim: int) -> Tuple[int, ...]:
     """Return ``axis`` as a tuple of non-negative ints sorted ascending."""
     if isinstance(axis, (tuple, list)):
@@ -132,22 +172,18 @@ class Tensor:
         gradient checking).  ``None`` keeps the ``float32`` default.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op", "_topo", "__weakref__")
+    __slots__ = ("data", "grad", "requires_grad", "_node", "_topo", "__weakref__")
 
     def __init__(
         self,
         data: ArrayLike,
         requires_grad: bool = False,
-        _prev: Tuple["Tensor", ...] = (),
-        _op: str = "",
         dtype=None,
     ) -> None:
         self.data = _as_array(data, dtype=dtype or np.float32)
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = bool(requires_grad)
-        self._backward: Optional[Callable[[], None]] = None
-        self._prev: Tuple[Tensor, ...] = _prev
-        self._op = _op
+        self._node: Optional[_ir.GraphNode] = None
         self._topo: Optional[list] = None
 
     # ------------------------------------------------------------------ #
@@ -174,11 +210,46 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() only works on tensors with exactly one element, "
+                f"got shape {self.shape}"
+            )
         return float(self.data.item())
 
+    # Node views: the recorded graph lives in ``_node``; these read-only
+    # views keep the historical tape attribute names working.
+    @property
+    def _prev(self) -> Tuple["Tensor", ...]:
+        node = self._node
+        return node.inputs if node is not None else ()
+
+    @property
+    def _backward(self) -> Optional[Callable[[], None]]:
+        node = self._node
+        return node.backward if node is not None else None
+
+    @property
+    def _op(self) -> str:
+        node = self._node
+        return node.op if node is not None else ""
+
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+        """Return a new tensor sharing data but detached from the *gradient* graph.
+
+        No gradient ever flows through the result.  Inside an
+        :func:`repro.autograd.ir.capture` block the detachment is still
+        recorded as a backward-less identity node, so a captured trace knows
+        the value is data-dependent — a serving replay recomputes it from
+        the new inputs instead of freezing the trace-time activation.
+        """
+        out = Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+        graph = _ir._CAPTURE
+        if graph is not None:
+            node = _ir.GraphNode("detach", (self,), None, out)
+            out._node = node
+            graph.nodes.append(node)
+        return out
 
     def clone(self) -> "Tensor":
         """Return a copy of this tensor that participates in the graph."""
@@ -253,11 +324,28 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         op: str,
         backward: Callable[["Tensor"], Callable[[], None]],
+        attrs: Optional[dict] = None,
+        be=None,
     ) -> "Tensor":
+        """Record one operation as a :class:`~repro.autograd.ir.GraphNode`.
+
+        A node is created when gradients are being tracked *or* an
+        :func:`repro.autograd.ir.capture` block is active (so ``no_grad``
+        serving traces still record the graph); the backward thunk is built
+        only in the former case.  ``attrs`` carries the saved arrays and op
+        parameters the fusion/replay passes need; ``be`` pins the trace-time
+        backend on the node for rewrite passes.
+        """
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires, _prev=parents if requires else (), _op=op, dtype=data.dtype)
-        if requires:
-            out._backward = backward(out)
+        graph = _ir._CAPTURE
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
+        if requires or graph is not None:
+            node = _ir.GraphNode(op, parents, attrs, out, be=be)
+            if requires:
+                node.backward = backward(out)
+            out._node = node
+            if graph is not None:
+                graph.nodes.append(node)
         return out
 
     # ------------------------------------------------------------------ #
@@ -276,7 +364,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(be.add(self.data, other.data), (self, other), "add", make_backward)
+        return self._make(be.add(self.data, other.data), (self, other), "add", make_backward, be=be)
 
     __radd__ = __add__
 
@@ -290,7 +378,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(be.negative(self.data), (self,), "neg", make_backward)
+        return self._make(be.negative(self.data), (self,), "neg", make_backward, be=be)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-self._wrap(other))
@@ -315,7 +403,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(be.multiply(self.data, other.data), (self, other), "mul", make_backward)
+        return self._make(be.multiply(self.data, other.data), (self, other), "mul", make_backward, be=be)
 
     __rmul__ = __mul__
 
@@ -342,7 +430,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(be.divide(self.data, other.data), (self, other), "div", make_backward)
+        return self._make(be.divide(self.data, other.data), (self, other), "div", make_backward, be=be)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._wrap(other) / self
@@ -369,7 +457,10 @@ class Tensor:
 
             return _backward
 
-        return self._make(be.power(self.data, exponent), (self,), "pow", make_backward)
+        return self._make(
+            be.power(self.data, exponent), (self,), "pow", make_backward,
+            attrs={"exponent": exponent}, be=be,
+        )
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         other = self._wrap(other)
@@ -401,7 +492,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(be.matmul(self.data, other.data), (self, other), "matmul", make_backward)
+        return self._make(be.matmul(self.data, other.data), (self, other), "matmul", make_backward, be=be)
 
     def abs(self) -> "Tensor":
         def make_backward(out: "Tensor") -> Callable[[], None]:
@@ -424,7 +515,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(result, (self,), "exp", make_backward)
+        return self._make(result, (self,), "exp", make_backward, be=be)
 
     def log(self) -> "Tensor":
         be = get_backend()
@@ -436,7 +527,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(be.log(self.data), (self,), "log", make_backward)
+        return self._make(be.log(self.data), (self,), "log", make_backward, be=be)
 
     def sqrt(self) -> "Tensor":
         be = get_backend()
@@ -449,7 +540,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(result, (self,), "sqrt", make_backward)
+        return self._make(result, (self,), "sqrt", make_backward, be=be)
 
     # ------------------------------------------------------------------ #
     # Non-linearities
@@ -465,7 +556,10 @@ class Tensor:
 
             return _backward
 
-        return self._make(be.relu(self.data), (self,), "relu", make_backward)
+        return self._make(
+            be.relu(self.data), (self,), "relu", make_backward,
+            attrs={"mask": mask}, be=be,
+        )
 
     def sigmoid(self) -> "Tensor":
         be = get_backend()
@@ -478,7 +572,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(result, (self,), "sigmoid", make_backward)
+        return self._make(result, (self,), "sigmoid", make_backward, be=be)
 
     def tanh(self) -> "Tensor":
         be = get_backend()
@@ -491,7 +585,7 @@ class Tensor:
 
             return _backward
 
-        return self._make(result, (self,), "tanh", make_backward)
+        return self._make(result, (self,), "tanh", make_backward, be=be)
 
     # ------------------------------------------------------------------ #
     # Reductions and shape manipulation
@@ -514,7 +608,8 @@ class Tensor:
             return _backward
 
         return self._make(
-            be.sum(self.data, axis=axis, keepdims=keepdims), (self,), "sum", make_backward
+            be.sum(self.data, axis=axis, keepdims=keepdims), (self,), "sum", make_backward,
+            attrs={"axis": axis, "keepdims": keepdims}, be=be,
         )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -544,7 +639,10 @@ class Tensor:
 
             return _backward
 
-        return self._make(self.data.reshape(shape), (self,), "reshape", make_backward)
+        return self._make(
+            self.data.reshape(shape), (self,), "reshape", make_backward,
+            attrs={"shape": shape},
+        )
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -563,7 +661,10 @@ class Tensor:
 
             return _backward
 
-        return self._make(self.data.transpose(axes), (self,), "transpose", make_backward)
+        return self._make(
+            self.data.transpose(axes), (self,), "transpose", make_backward,
+            attrs={"axes": axes},
+        )
 
     def flatten(self, start_dim: int = 1) -> "Tensor":
         new_shape = self.shape[:start_dim] + (-1,)
@@ -581,7 +682,10 @@ class Tensor:
 
             return _backward
 
-        return self._make(self.data[index], (self,), "getitem", make_backward)
+        return self._make(
+            self.data[index], (self,), "getitem", make_backward,
+            attrs={"index": index},
+        )
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         be = get_backend()
@@ -604,7 +708,10 @@ class Tensor:
 
             return _backward
 
-        return self._make(result, (self,), "max", make_backward)
+        return self._make(
+            result, (self,), "max", make_backward,
+            attrs={"axis": axis, "keepdims": keepdims}, be=be,
+        )
 
     # ------------------------------------------------------------------ #
     # Combination helpers used by the two-branch model
@@ -612,6 +719,10 @@ class Tensor:
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._wrap(t) for t in tensors]
+        if not tensors:
+            raise ValueError(
+                "Tensor.concatenate() needs at least one tensor, got an empty sequence"
+            )
         data = np.concatenate([t.data for t in tensors], axis=axis)
         sizes = [t.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
@@ -626,11 +737,15 @@ class Tensor:
 
             return _backward
 
-        return Tensor._make(data, tuple(tensors), "concat", make_backward)
+        return Tensor._make(data, tuple(tensors), "concat", make_backward, attrs={"axis": axis})
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor._wrap(t) for t in tensors]
+        if not tensors:
+            raise ValueError(
+                "Tensor.stack() needs at least one tensor, got an empty sequence"
+            )
         data = np.stack([t.data for t in tensors], axis=axis)
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
@@ -642,7 +757,7 @@ class Tensor:
 
             return _backward
 
-        return Tensor._make(data, tuple(tensors), "stack", make_backward)
+        return Tensor._make(data, tuple(tensors), "stack", make_backward, attrs={"axis": axis})
 
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the two trailing spatial dimensions of an NCHW tensor."""
@@ -659,39 +774,20 @@ class Tensor:
 
             return _backward
 
-        return self._make(padded, (self,), "pad2d", make_backward)
+        return self._make(padded, (self,), "pad2d", make_backward, attrs={"padding": padding})
 
     # ------------------------------------------------------------------ #
     # Backward pass
     # ------------------------------------------------------------------ #
-    def _toposort(self) -> list:
-        """Iterative post-order topological sort of the recorded graph.
-
-        Leaves are skipped entirely: they have no backward closure to run,
-        and gradients reach them through the closures of their consumers.
-        Leaf-ness is detected by ``_backward is None`` (not by empty
-        ``_prev``) so that nodes of an already-freed graph — which carry the
-        raising sentinel — still enter the list and fail loudly.
-        """
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._prev:
-                if parent._backward is not None and id(parent) not in visited:
-                    stack.append((parent, False))
-        return topo
-
     def backward(self, grad: Optional[ArrayLike] = None, retain_graph: bool = False) -> None:
         """Back-propagate gradients from this tensor through the graph.
+
+        The recorded node graph is topologically sorted by
+        :func:`repro.autograd.ir.toposort` (leaves — nodes without a
+        backward thunk — are pruned exactly as the historical tensor-level
+        sort pruned them).  When fusion is enabled (``REPRO_FUSION`` or
+        :func:`repro.autograd.fusion.enable_fusion`) the rewrite pass runs
+        over the graph first, collapsing matched chains into fused nodes.
 
         Parameters
         ----------
@@ -699,10 +795,11 @@ class Tensor:
             Seed gradient; defaults to ``1`` for scalar tensors.
         retain_graph:
             When ``False`` (the default) the recorded graph is freed after
-            the pass: backward closures and parent links of every visited
-            node are dropped.  Pass ``True`` to keep the graph alive for
-            another ``backward()`` call; the topologically sorted node list
-            is cached on this tensor and reused by subsequent calls.
+            the pass: backward closures, parent links and saved arrays of
+            every visited node are dropped.  Pass ``True`` to keep the graph
+            alive for another ``backward()`` call; the topologically sorted
+            node list is cached on this tensor and reused by subsequent
+            calls.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -720,17 +817,33 @@ class Tensor:
 
         topo = self._topo
         if topo is None:
-            topo = self._toposort()
+            if self._node is not None:
+                topo = None
+                fusion = _get_fusion()
+                if fusion.fusion_enabled():
+                    # The rewrite may replace this tensor's own node (the
+                    # root is re-read below); the pass splices rewrites
+                    # into its own walk, so its topo order is used directly
+                    # instead of re-sorting.
+                    topo = fusion.fuse_for_backward(self)
+                if topo is None:
+                    topo = _ir.toposort(self._node)
+            else:
+                topo = []
 
         # Interior-node grads are transient: clear them so a repeated pass
         # over a retained graph does not double-count (leaves, which are not
-        # in the topo list, keep accumulating as expected).
+        # in the topo list, keep accumulating as expected).  Nodes freed by
+        # another root's pass have dropped their output tensor; their
+        # sentinel raises below.
         for node in topo:
-            node.grad = None
+            out = node.out
+            if out is not None:
+                out.grad = None
         self.grad = seed
 
         for node in reversed(topo):
-            backward_fn = node._backward
+            backward_fn = node.backward
             if backward_fn is not None:
                 backward_fn()
 
@@ -741,11 +854,14 @@ class Tensor:
             for node in topo:
                 # Drop the closure (breaking the tensor<->closure cycles) and
                 # leave a raising sentinel so a later backward over this graph
-                # fails loudly instead of silently skipping freed nodes.  A
-                # leaf root never had a closure and stays repeatable.
-                if node._backward is not None:
-                    node._backward = _raise_freed_graph
-                node._prev = ()
+                # fails loudly instead of silently skipping freed nodes; the
+                # saved arrays and the output link are dropped with it so the
+                # finished graph is reclaimed by refcounting alone.  Nodes a
+                # rewrite pass bypassed (a fused node's original producer)
+                # are freed with their replacement, keeping the sentinel
+                # semantics of the unfused chain.  A leaf root never had a
+                # node and stays repeatable.
+                _free_node(node)
 
     # Convenience constructors -------------------------------------------------
     #

@@ -165,6 +165,41 @@ class ArrayBackend(Protocol):
         ...
 
     # ------------------------------------------------------------------ #
+    # Composites: fused tape chains (repro.autograd.fusion)
+    #
+    # Each collapses a matched chain of tape nodes into one call.  The
+    # reference implementations run the exact op sequence of the separate
+    # kernels, so fused and unfused traces are bit-identical; a backend may
+    # collapse the chain into fewer buffers (or one device kernel) as long
+    # as it keeps that operation order.
+    # ------------------------------------------------------------------ #
+    def relu_grad(self, g, mask) -> np.ndarray:
+        """VJP of relu: ``g * mask`` as a fresh buffer (``g`` is read-only)."""
+        ...
+
+    def linear_relu(self, x, w, b: Optional[np.ndarray]) -> np.ndarray:
+        """Fused ``relu(x @ w + b)`` (``b`` may be ``None``)."""
+        ...
+
+    def mul_add(self, a, b, c) -> np.ndarray:
+        """Fused elementwise ``a * b + c`` with numpy broadcasting."""
+        ...
+
+    def add_relu(self, a, b) -> np.ndarray:
+        """Fused elementwise ``relu(a + b)`` with numpy broadcasting."""
+        ...
+
+    def bn_normalize_relu(
+        self, x, mean, inv_std, gamma, beta, bshape: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused batch-norm normalization + relu: ``bn_normalize`` whose
+        ``out`` is rectified in addition.  Returns ``(xhat, out)`` with the
+        same aliasing contract as :meth:`bn_normalize` (``out`` must never
+        alias the saved ``xhat``).
+        """
+        ...
+
+    # ------------------------------------------------------------------ #
     # Composites: optimizer update rules (mutate p and state in place)
     # ------------------------------------------------------------------ #
     def sgd_update(

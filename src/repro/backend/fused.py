@@ -80,6 +80,32 @@ class FusedNumpyBackend(NumpyBackend):
         return d
 
     # ------------------------------------------------------------------ #
+    # Fused tape chains (same op order as the reference, in-place buffers)
+    # ------------------------------------------------------------------ #
+    def linear_relu(self, x, w, b: Optional[np.ndarray]) -> np.ndarray:
+        out = self.linear(x, w, b)  # fresh GEMM buffer: rectify in place
+        return np.maximum(out, 0.0, out=out)
+
+    def mul_add(self, a, b, c) -> np.ndarray:
+        out = np.multiply(a, b)
+        if out.shape == np.broadcast_shapes(out.shape, np.shape(c)):
+            out += c
+            return out
+        return np.add(out, c)  # c broadens the result: cannot add in place
+
+    def add_relu(self, a, b) -> np.ndarray:
+        out = np.add(a, b)
+        return np.maximum(out, 0.0, out=out)
+
+    def bn_normalize_relu(
+        self, x, mean, inv_std, gamma, beta, bshape: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        xhat, out = self.bn_normalize(x, mean, inv_std, gamma, beta, bshape)
+        # out never aliases the saved xhat (bn_normalize contract), so the
+        # rectification can land in place.
+        return xhat, np.maximum(out, 0.0, out=out)
+
+    # ------------------------------------------------------------------ #
     # Batch norm
     # ------------------------------------------------------------------ #
     def bn_normalize(

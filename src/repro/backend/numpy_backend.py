@@ -155,6 +155,29 @@ class NumpyBackend:
         mean_dxhat_xhat = (dxhat * xhat).mean(axis=axes).reshape(bshape)
         return (dxhat - mean_dxhat - xhat * mean_dxhat_xhat) * inv_std.reshape(bshape)
 
+    # ------------------------------------------------------------------ #
+    # Fused tape chains (reference: the exact op sequence of the separate
+    # kernels, so fused and unfused traces are bit-identical)
+    # ------------------------------------------------------------------ #
+    def relu_grad(self, g, mask) -> np.ndarray:
+        # Exactly the multiply the standalone relu backward performs.
+        return self.multiply(g, mask)
+
+    def linear_relu(self, x, w, b: Optional[np.ndarray]) -> np.ndarray:
+        return np.maximum(self.linear(x, w, b), 0.0)
+
+    def mul_add(self, a, b, c) -> np.ndarray:
+        return np.add(np.multiply(a, b), c)
+
+    def add_relu(self, a, b) -> np.ndarray:
+        return np.maximum(np.add(a, b), 0.0)
+
+    def bn_normalize_relu(
+        self, x, mean, inv_std, gamma, beta, bshape: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        xhat, out = self.bn_normalize(x, mean, inv_std, gamma, beta, bshape)
+        return xhat, np.maximum(out, 0.0)
+
     def dropout_mask(self, rng: np.random.Generator, shape, p: float, dtype) -> np.ndarray:
         # Drawn through the random_uniform primitive so a backend that
         # overrides only the RNG (a device generator) inherits a consistent

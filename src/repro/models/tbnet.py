@@ -26,7 +26,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro import nn
-from repro.autograd import Tensor, functional as F
+from repro.autograd import Tensor, functional as F, no_grad
 from repro.backend import default_rng
 
 __all__ = ["TBNet", "make_synthetic_batch"]
@@ -122,6 +122,34 @@ class TBNet(nn.Module):
         optimizer.step()
         optimizer.zero_grad()
         return loss.item()
+
+    def infer(self, images, context) -> np.ndarray:
+        """Eager ``no_grad`` forward returning the plain logits array.
+
+        The eval-mode serving path: call :meth:`~repro.nn.module.Module.eval`
+        first so batch-norm uses its running statistics and dropout is a
+        tape-free identity — the trace this produces is exactly what
+        :meth:`compile_serving` captures and replays.
+        """
+        with no_grad():
+            return self.forward(images, context).data
+
+    def compile_serving(self, batch_size: int, fuse: bool = True):
+        """Compile a fixed-batch :class:`repro.serve.InferenceSession`.
+
+        Switches the model to eval mode (serving sessions refuse train-mode
+        layers), captures one forward trace over a zero example batch of
+        ``batch_size`` samples and returns the compiled session.  Parameters
+        stay bound by reference, so later in-place updates are served
+        without recompiling; wrap the session with
+        :func:`repro.serve.serve_batches` to serve arbitrary request sizes.
+        """
+        from repro.serve import compile_inference  # deferred: serve sits above models
+
+        self.eval()
+        images = Tensor.zeros(batch_size, self.in_channels, self.image_size, self.image_size)
+        context = Tensor.zeros(batch_size, self.context_dim)
+        return compile_inference(self, (images, context), fuse=fuse)
 
 
 def make_synthetic_batch(

@@ -254,13 +254,30 @@ class Flatten(Module):
 
 
 class Sequential(Module):
-    """Chain modules, feeding each output to the next layer's input."""
+    """Chain modules, feeding each output to the next layer's input.
+
+    The container is list-like: ``append`` / ``insert`` / ``extend`` mutate
+    the chain in place (each validates that it is handed ``Module``
+    instances, so a stray tensor or function cannot silently vanish from
+    parameter discovery), and a slice returns a new ``Sequential`` sharing
+    the *same* module objects — parameters of ``model[:2]`` are the
+    parameters of ``model``'s first two layers, not copies.
+    """
 
     def __init__(self, *modules: Module) -> None:
         super().__init__()
         if len(modules) == 1 and isinstance(modules[0], (list, tuple)):
             modules = tuple(modules[0])
+        for module in modules:
+            self._check_module(module)
         self.layers = list(modules)
+
+    @staticmethod
+    def _check_module(module) -> None:
+        if not isinstance(module, Module):
+            raise TypeError(
+                f"Sequential layers must be Module instances, got {type(module).__name__}"
+            )
 
     def forward(self, x) -> Tensor:
         for layer in self.layers:
@@ -268,7 +285,23 @@ class Sequential(Module):
         return x
 
     def append(self, module: Module) -> "Sequential":
+        """Add ``module`` at the end of the chain; returns ``self``."""
+        self._check_module(module)
         self.layers.append(module)
+        return self
+
+    def insert(self, index: int, module: Module) -> "Sequential":
+        """Insert ``module`` before position ``index`` (list semantics)."""
+        self._check_module(module)
+        self.layers.insert(int(index), module)
+        return self
+
+    def extend(self, modules) -> "Sequential":
+        """Append every module of an iterable (or another ``Sequential``)."""
+        incoming = list(modules)
+        for module in incoming:
+            self._check_module(module)
+        self.layers.extend(incoming)
         return self
 
     def __len__(self) -> int:
@@ -279,5 +312,7 @@ class Sequential(Module):
 
     def __getitem__(self, index):
         if isinstance(index, slice):
+            # The sliced container shares the module objects (and therefore
+            # the parameters) with this one — identity, not copies.
             return Sequential(*self.layers[index])
         return self.layers[index]

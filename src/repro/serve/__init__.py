@@ -1,0 +1,18 @@
+"""Batched ``no_grad`` serving over compiled trace replay.
+
+The first concrete step toward the production-serving north star:
+:func:`compile_inference` captures one eval-mode forward trace of a model
+through the graph IR and returns an :class:`InferenceSession` that replays
+it over new batches with pre-allocated, reused buffers — no tape, no module
+dispatch, fused composite kernels.  :func:`serve_batches` chunks an
+arbitrarily long request stream through the fixed-batch session.
+
+See :mod:`repro.serve.session` for the execution model and guarantees
+(bit-identical to the eager ``no_grad`` forward; train-mode traces are
+rejected; parameters are bound by reference, batch-norm statistics are
+frozen at compile).
+"""
+
+from repro.serve.session import InferenceSession, compile_inference, serve_batches
+
+__all__ = ["InferenceSession", "compile_inference", "serve_batches"]

@@ -1,0 +1,726 @@
+"""Compiled ``no_grad`` inference: capture a trace once, replay it forever.
+
+:func:`compile_inference` runs one forward pass of an **eval-mode** model
+over an example batch inside :func:`repro.autograd.ir.capture` +
+``no_grad()``, optionally runs the fusion pass over the captured trace, and
+compiles the surviving nodes into a flat list of step closures.  The
+returned :class:`InferenceSession` replays that list over new batches with:
+
+- **no tape**: no ``Tensor`` wrapping, no node recording, no module
+  dispatch — each step is one bound closure over ndarrays;
+- **pre-allocated, reused buffers**: the hot ops (the affine maps, the
+  fused ``linear_relu``, elementwise chains, eval batch-norm, relu, concat)
+  write into buffers allocated once at compile time via ``out=`` kernels;
+  batch-norm's eval statistics are folded to constants at compile;
+- **shape checking**: every call validates the incoming arrays against the
+  example batch (fixed shapes are what make buffer reuse safe) and rejects
+  mismatches with a clear error.
+
+Replay is **bit-identical** to the eager ``no_grad`` forward under the
+backend active at compile time: every specialized step runs the exact op
+sequence of the eager kernel (in-place where the buffer is owned), and ops
+without a specialized emitter fall back to the IR forward evaluators, which
+share the kernels' forward cores.
+
+Train-mode state is refused twice: models with any module still in training
+mode are rejected up front, and traces containing train-mode nodes (a
+dropout mask, a batch-norm that would re-update running statistics) are
+rejected after capture — a serving session must be a pure function of its
+inputs and the frozen parameters.
+
+Parameters are bound **by reference**: each replay reads the current
+``.data`` of the captured parameter tensors, so in-place updates (a
+fine-tune step, ``load_state_dict``) show up without recompiling.  Running
+statistics of batch-norm layers, by contrast, are folded to constants at
+compile — recompile after changing them.
+
+The session's output array is a reused buffer: copy it if you need it to
+survive the next :meth:`InferenceSession.run` call.
+:func:`serve_batches` does exactly that while chunking an arbitrarily long
+request stream through the fixed-batch session; an odd-sized final chunk
+runs through the model's eager ``no_grad`` forward (correct for any trace,
+including ones whose samples interact through batch statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.autograd import fusion, ir
+from repro.autograd.tensor import Tensor, no_grad
+from repro.backend import get_backend, use_backend
+from repro.backend.fused import FusedNumpyBackend
+from repro.backend.numpy_backend import NumpyBackend
+from repro.nn.module import Module
+
+__all__ = ["InferenceSession", "compile_inference", "serve_batches"]
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def _as_input_tensors(example_batch) -> Tuple[Tensor, ...]:
+    """Normalize an example batch (array/Tensor or sequence of them)."""
+    if isinstance(example_batch, (list, tuple)):
+        items = example_batch
+    else:
+        items = (example_batch,)
+    if not items:
+        raise ValueError("compile_inference needs at least one example input")
+    out = []
+    for item in items:
+        if isinstance(item, Tensor):
+            out.append(Tensor(item.data, requires_grad=False, dtype=item.data.dtype))
+        else:
+            out.append(Tensor(np.asarray(item)))
+    return tuple(out)
+
+
+def _reject_training_nodes(nodes: Sequence[ir.GraphNode]) -> None:
+    for node in nodes:
+        if node.op == "dropout":
+            raise ValueError(
+                "the captured trace contains a training-mode dropout node; "
+                "inference traces must be captured in eval mode"
+            )
+        if node.op in ("batch_norm", "batch_norm_relu") and node.attrs["training"]:
+            raise ValueError(
+                "the captured trace contains a train-mode batch_norm node "
+                "(replay would re-update its running statistics); capture in "
+                "eval mode"
+            )
+
+
+def _reject_rewrapped_activations(
+    graph: ir.Graph, nodes: Sequence[ir.GraphNode], inputs: Tuple[Tensor, ...]
+) -> None:
+    """Refuse traces whose 'constants' alias traced activations.
+
+    A constant (anything that is neither a session input nor a node output)
+    whose storage overlaps any recorded activation means the forward
+    re-wrapped intermediate data outside the tape (``Tensor(h.data)``): the
+    replay would silently freeze the example batch's values in.  The check
+    runs against the *full* capture, not just the output-reachable nodes —
+    the escape typically dead-code-eliminates the producer it leaked from.
+    """
+    bound = {id(t) for t in inputs}
+    bound.update(id(node.out) for node in nodes)
+    # Everything batch-dependent: the session inputs themselves plus every
+    # recorded activation (the full capture — the escape typically
+    # dead-code-eliminates the producer it leaked from).  Aliasing is
+    # detected by root allocation buffer: numpy views chain ``.base`` back
+    # to the owning array, so comparing roots is a linear id-set lookup per
+    # edge instead of a quadratic may_share_memory sweep.
+    traced = [t.data for t in inputs]
+    traced += [node.out.data for node in graph.nodes if node.out is not None]
+    traced_roots = {id(_root_buffer(arr)) for arr in traced}
+    for node in nodes:
+        for t in node.inputs:
+            if id(t) in bound:
+                continue
+            if id(_root_buffer(t.data)) in traced_roots:
+                raise ValueError(
+                    f"the captured trace feeds op {node.op!r} a constant "
+                    "tensor aliasing a batch-dependent array (an input or a "
+                    "traced activation) — the forward re-wrapped data "
+                    "outside the tape, so a compiled replay would freeze "
+                    "the example batch's values; keep intermediate results "
+                    "as traced Tensors (detach() is fine: it records an "
+                    "identity node)"
+                )
+        if node.op == "softmax_cross_entropy" and id(node.inputs[1]) not in bound:
+            # Frozen labels are almost never what a serving session means:
+            # every replay would score the trace-time targets.
+            raise ValueError(
+                "the captured softmax_cross_entropy node's targets are a "
+                "constant of the trace (the forward received plain-array "
+                "labels); pass the labels through the example batch as a "
+                "Tensor input so each replay binds fresh targets"
+            )
+        if node.op == "getitem" and _has_array_index(node.attrs["index"]):
+            # An ndarray index is frozen into the trace, and whether it was
+            # computed from the batch (np.argsort(x.data[...]) and friends)
+            # is undecidable here — such an index usually does not even
+            # alias the data it came from.  Fail loudly instead of silently
+            # replaying the example batch's gather pattern.
+            raise ValueError(
+                "the captured trace contains a getitem with an ndarray "
+                "index, which is frozen at compile time; if it was computed "
+                "from the batch the replay would silently reuse the example "
+                "batch's indices — express the gather with static slices, "
+                "or keep that model on the eager no_grad path"
+            )
+
+
+def _root_buffer(arr: np.ndarray):
+    """The array owning ``arr``'s memory (follow the view ``.base`` chain)."""
+    while isinstance(arr, np.ndarray) and arr.base is not None:
+        arr = arr.base
+    return arr
+
+
+def _has_array_index(index) -> bool:
+    items = index if isinstance(index, tuple) else (index,)
+    return any(isinstance(item, (np.ndarray, list)) for item in items)
+
+
+def compile_inference(model: Module, example_batch, fuse: bool = True) -> "InferenceSession":
+    """Capture one eval-mode ``no_grad`` trace of ``model`` and compile it.
+
+    Parameters
+    ----------
+    model:
+        An eval-mode :class:`~repro.nn.module.Module`; any submodule still
+        in training mode is rejected (call ``model.eval()`` first).
+    example_batch:
+        One input array/Tensor, or a sequence of them, defining the fixed
+        shapes (including the batch dimension) the session serves.
+    fuse:
+        Run the :mod:`repro.autograd.fusion` pass over the captured trace
+        (default), so the executor dispatches fused composites
+        (``linear_relu`` and friends) instead of separate nodes.
+    """
+    if not isinstance(model, Module):
+        raise TypeError(
+            f"compile_inference expects a repro.nn Module, got {type(model).__name__}"
+        )
+    training = [name or "<root>" for name, m in model.named_modules() if m.training]
+    if training:
+        raise ValueError(
+            f"compile_inference requires eval mode, but {training[:5]} "
+            f"{'is' if len(training) == 1 else 'are'} in train mode; call "
+            "model.eval() first"
+        )
+    inputs = _as_input_tensors(example_batch)
+    with no_grad(), ir.capture() as graph:
+        output = model(*inputs)
+    if not isinstance(output, Tensor):
+        raise TypeError(
+            f"model forward must return a single Tensor, got {type(output).__name__}"
+        )
+    nodes = ir.toposort(output._node, backward_only=False) if output._node is not None else []
+    _reject_training_nodes(nodes)
+    _reject_rewrapped_activations(graph, nodes, inputs)
+    missing = sorted({n.op for n in nodes if not ir.has_forward(n.op)})
+    if missing:
+        # Fail at compile, not at the first run()'s KeyError deep in a step.
+        raise ValueError(
+            f"the captured trace contains ops with no registered forward "
+            f"evaluator: {missing}; register one with "
+            "repro.autograd.ir.register_forward"
+        )
+    fused_counts: Dict[str, int] = {}
+    if fuse:
+        fused_counts = fusion.fuse(output)
+        nodes = ir.toposort(output._node, backward_only=False) if output._node is not None else []
+    return InferenceSession(inputs, output, nodes, get_backend(), fused_counts, model=model)
+
+
+class InferenceSession:
+    """A compiled, fixed-shape, buffer-reusing replay of one captured trace.
+
+    Not thread-safe (the steps share pre-allocated buffers); give each
+    worker its own session.  Use :func:`compile_inference` to build one.
+    """
+
+    def __init__(
+        self,
+        inputs: Tuple[Tensor, ...],
+        output: Tensor,
+        nodes: List[ir.GraphNode],
+        backend,
+        fused_counts: Optional[Dict[str, int]] = None,
+        model: Optional[Module] = None,
+    ) -> None:
+        self._be = backend
+        self._model = model
+        self._input_meta = [(t.data.shape, t.data.dtype) for t in inputs]
+        self.fused_counts = dict(fused_counts or {})
+        self.op_counts: Dict[str, int] = {}
+        for node in nodes:
+            self.op_counts[node.op] = self.op_counts.get(node.op, 0) + 1
+        #: Whether any node computes statistics *across* the batch (eval
+        #: batch-norm without running statistics): sample outputs then depend
+        #: on the other samples in their micro-batch, so chunk boundaries
+        #: affect results for such traces.
+        self.has_batch_statistics = any(
+            node.op in ("batch_norm", "batch_norm_relu")
+            and node.attrs["use_batch_stats"]
+            for node in nodes
+        )
+
+        # Slot assignment: inputs first, then one slot per node output.
+        slot_of: Dict[int, int] = {}
+        for i, t in enumerate(inputs):
+            slot_of[id(t)] = i
+        base = len(inputs)
+        for j, node in enumerate(nodes):
+            slot_of[id(node.out)] = base + j
+        self._values: List[Optional[np.ndarray]] = [None] * (base + len(nodes))
+
+        self._steps = [self._emit(node, slot_of) for node in nodes]
+
+        # For a degenerate trace (the model returned an input or a constant)
+        # the getter falls through to the input slot / live tensor read.
+        self._get_output = self._getter_for(output, slot_of)
+        self.output_shape = output.data.shape
+        self.output_dtype = output.data.dtype
+
+        # Sever the example trace: the steps captured everything they need
+        # (slots, shapes, pre-allocated buffers, live parameter tensors), so
+        # the example activations — node outputs, input links, and the big
+        # backward-only saved arrays (relu masks, batch-norm xhat) — would
+        # otherwise stay pinned for the session's whole lifetime.
+        # (No dropout carve-out needed: train-mode traces — the only ones
+        # with dropout nodes — were rejected before construction.)
+        for node in nodes:
+            node.out = None
+            node.inputs = ()
+            node.bypassed = None
+            if node.attrs:
+                node.attrs.pop("xhat", None)
+                node.attrs.pop("mask", None)
+
+    # ------------------------------------------------------------------ #
+    # Public surface
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_size(self) -> int:
+        """Leading dimension of the first example input."""
+        shape = self._input_meta[0][0]
+        if not shape:
+            raise ValueError("session inputs are scalars; there is no batch dimension")
+        return shape[0]
+
+    @property
+    def input_shapes(self) -> List[Tuple[int, ...]]:
+        return [shape for shape, _ in self._input_meta]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self._steps)
+
+    def run(self, *batch: ArrayOrTensor) -> np.ndarray:
+        """Replay the compiled trace over ``batch``; returns the logits array.
+
+        The returned array is a buffer owned by the session and overwritten
+        by the next call — copy it to keep it.
+        """
+        meta = self._input_meta
+        if len(batch) != len(meta):
+            raise ValueError(
+                f"session takes {len(meta)} input(s), got {len(batch)}"
+            )
+        values = self._values
+        for i, item in enumerate(batch):
+            arr = item.data if isinstance(item, Tensor) else np.asarray(item)
+            shape, dtype = meta[i]
+            if arr.shape != shape:
+                raise ValueError(
+                    f"input {i} has shape {arr.shape}; this session was "
+                    f"compiled for {shape} (micro-batch with serve_batches() "
+                    "or recompile for the new shape)"
+                )
+            if arr.dtype != dtype:
+                arr = arr.astype(dtype)
+            values[i] = arr
+        for step in self._steps:
+            step(values)
+        result = self._get_output(values)
+        # Drop the slot references (caller inputs, generic-step outputs) so
+        # a long-lived session does not pin the last batch between calls;
+        # the pre-allocated emitter buffers live in the step closures.
+        for i in range(len(values)):
+            values[i] = None
+        return result
+
+    __call__ = run
+
+    def _run_eager_tail(self, arrays: List[np.ndarray]) -> np.ndarray:
+        """Eager ``no_grad`` forward for an odd-sized chunk (serve_batches).
+
+        The compiled replay is pinned to the session's fixed batch shape;
+        partial chunks fall back to the captured model itself, which is
+        correct for any batch size and any trace (including ones whose
+        samples interact, where zero-padding would corrupt results).
+        """
+        model = self._model
+        if model is None:
+            raise ValueError(
+                "this session was built without a model reference; serve a "
+                f"multiple of batch_size={self.batch_size} samples"
+            )
+        training = [name or "<root>" for name, m in model.named_modules() if m.training]
+        if training:
+            raise RuntimeError(
+                f"the compiled model was switched back to train mode "
+                f"({training[:3]}); call model.eval() before serving"
+            )
+        # Pin the compile-time backend: full chunks replay under it, so the
+        # tail must too — one request stream, one set of numerics.
+        with use_backend(self._be), no_grad():
+            out = model(
+                *(
+                    Tensor(a, dtype=meta[1])
+                    for a, meta in zip(arrays, self._input_meta)
+                )
+            )
+        return out.data
+
+    # ------------------------------------------------------------------ #
+    # Step compilation
+    # ------------------------------------------------------------------ #
+    def _getter_for(self, tensor: Tensor, slot_of: Dict[int, int]):
+        """A ``values -> ndarray`` reader for one tensor.
+
+        Computed tensors and session inputs read their slot; anything else
+        (parameters, buffers, wrapped constants) is read through the live
+        tensor so in-place parameter updates are picked up per call.
+        """
+        slot = slot_of.get(id(tensor))
+        if slot is not None:
+            return lambda values, _s=slot: values[_s]
+        return lambda values, _t=tensor: _t.data
+
+    def _emit(self, node: ir.GraphNode, slot_of: Dict[int, int]):
+        """Compile one node into a step closure.
+
+        On the built-in backends, hot ops get specialized in-place emitters
+        over pre-allocated buffers (bit-equal to the eager kernels); every
+        other op — and *every* op on a non-built-in backend — replays
+        through the generic IR evaluator, which dispatches through the
+        backend itself.
+        """
+        op = node.op
+        attrs = node.attrs or {}
+        out_slot = slot_of[id(node.out)]
+        getters = [self._getter_for(t, slot_of) for t in node.inputs]
+        example = node.out.data
+        be = self._be
+
+        if not _is_builtin_backend(be) and op not in ("reshape", "transpose"):
+            # Structural ops are backend-independent by the ArrayBackend
+            # contract; everything numerical must go through the backend.
+            return self._emit_generic(node, getters, out_slot)
+
+        if op in ("linear", "linear_relu") and node.inputs[0].data.ndim == 2:
+            buf = np.empty(example.shape, example.dtype)
+            gx, gw = getters[0], getters[1]
+            gb = getters[2] if len(getters) == 3 else None
+            relu = op == "linear_relu"
+
+            def step(values):
+                np.matmul(gx(values), gw(values), out=buf)
+                if gb is not None:
+                    np.add(buf, gb(values), out=buf)
+                if relu:
+                    np.maximum(buf, 0.0, out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        if op == "relu":
+            buf = np.empty(example.shape, example.dtype)
+            gx = getters[0]
+
+            def step(values):
+                np.maximum(gx(values), 0.0, out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        if op in ("add", "mul", "div"):
+            ufunc = {"add": np.add, "mul": np.multiply, "div": np.divide}[op]
+            buf = np.empty(example.shape, example.dtype)
+            ga, gb2 = getters[0], getters[1]
+
+            def step(values, _u=ufunc):
+                _u(ga(values), gb2(values), out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        if op == "neg":
+            buf = np.empty(example.shape, example.dtype)
+            gx = getters[0]
+
+            def step(values):
+                np.negative(gx(values), out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        if op == "add_relu":
+            buf = np.empty(example.shape, example.dtype)
+            ga, gb2 = getters[0], getters[1]
+
+            def step(values):
+                np.add(ga(values), gb2(values), out=buf)
+                np.maximum(buf, 0.0, out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        if op == "mul_add" and attrs["p_shape"] == example.shape:
+            buf = np.empty(example.shape, example.dtype)
+            ga, gb2, gc = getters
+
+            def step(values):
+                np.multiply(ga(values), gb2(values), out=buf)
+                np.add(buf, gc(values), out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        if op in ("batch_norm", "batch_norm_relu") and not attrs["use_batch_stats"]:
+            # Eval-mode statistics are constants of the trace: fold the
+            # reshapes once; gamma/beta stay late-bound parameter reads.
+            bshape = attrs["bshape"]
+            mean_r = np.ascontiguousarray(attrs["mean"].reshape(bshape))
+            inv_r = np.ascontiguousarray(attrs["inv_std"].reshape(bshape))
+            g_gamma = getters[1] if attrs["has_weight"] else None
+            g_beta = (
+                (getters[2] if attrs["has_weight"] else getters[1])
+                if attrs["has_bias"]
+                else None
+            )
+            relu = op == "batch_norm_relu"
+            buf = np.empty(example.shape, example.dtype)
+            gx = getters[0]
+
+            def step(values):
+                np.subtract(gx(values), mean_r, out=buf)
+                np.multiply(buf, inv_r, out=buf)
+                if g_gamma is not None:
+                    np.multiply(buf, g_gamma(values).reshape(bshape), out=buf)
+                if g_beta is not None:
+                    np.add(buf, g_beta(values).reshape(bshape), out=buf)
+                if relu:
+                    np.maximum(buf, 0.0, out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        if op == "conv2d":
+            return self._emit_conv2d(node, attrs, getters, out_slot, example)
+
+        if op == "max_pool2d":
+            return self._emit_max_pool2d(node, attrs, getters, out_slot, example)
+
+        if op == "reshape":
+            shape = attrs["shape"]
+            gx = getters[0]
+
+            def step(values):
+                values[out_slot] = gx(values).reshape(shape)
+
+            return step
+
+        if op == "transpose":
+            axes = attrs["axes"]
+            gx = getters[0]
+
+            def step(values):
+                values[out_slot] = gx(values).transpose(axes)
+
+            return step
+
+        if op == "concat":
+            axis = attrs["axis"]
+            buf = np.empty(example.shape, example.dtype)
+
+            def step(values):
+                np.concatenate([g(values) for g in getters], axis=axis, out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        # Everything else (avg-pooling, softmax family, reductions, ...)
+        # replays through the registered IR forward evaluator — identical
+        # math, allocating its own output.
+        return self._emit_generic(node, getters, out_slot)
+
+    def _emit_generic(self, node: ir.GraphNode, getters, out_slot):
+        be = self._be
+
+        def step(values):
+            values[out_slot] = ir.evaluate_node(
+                node, be, tuple(g(values) for g in getters)
+            )
+
+        return step
+
+    def _emit_conv2d(self, node, attrs, getters, out_slot, example):
+        """Conv replay with every workspace pre-allocated.
+
+        Runs the exact arithmetic of the im2col kernel: the patch matrix is
+        laid out the way ``np.tensordot`` lays it out internally, the weight
+        operand is the same no-copy F-contiguous ``transpose().reshape()``
+        view tensordot builds (same BLAS operand layouts → same bits), and
+        the contraction is the same 2-D GEMM — but the padded image, the
+        patch matrix and the GEMM output live in buffers allocated once at
+        compile time.
+        """
+        (sh, sw), (ph, pw) = attrs["stride"], attrs["padding"]
+        xd, wd = node.inputs[0].data, node.inputs[1].data
+        n, c, h, w = xd.shape
+        oc, _, kh, kw = wd.shape
+        oh, ow = example.shape[2], example.shape[3]
+        gx, gw = getters[0], getters[1]
+        gb = getters[2] if len(getters) == 3 else None
+        dtype = example.dtype
+
+        # Zero-initialised once: the interior is overwritten every call and
+        # the padding border stays zero.
+        xp_buf = (
+            np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype) if (ph or pw) else None
+        )
+        patches = np.empty((n, oh, ow, c, kh, kw), dtype)
+        patches2d = patches.reshape(n * oh * ow, c * kh * kw)
+        gemm_out = np.empty((n * oh * ow, oc), dtype)
+        gemm4d = gemm_out.reshape(n, oh, ow, oc)
+        buf = np.empty(example.shape, dtype)
+
+        def step(values):
+            x = gx(values)
+            if xp_buf is not None:
+                xp_buf[:, :, ph : ph + h, pw : pw + w] = x
+                xp = xp_buf
+            else:
+                xp = x
+            win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+            np.copyto(patches, win.transpose(0, 2, 3, 1, 4, 5))
+            # The F-contiguous no-copy view tensordot itself hands to BLAS;
+            # a C-contiguous copy here would change sgemm's summation path
+            # (and the result's last bits) at some shapes.
+            wmat = gw(values).transpose(1, 2, 3, 0).reshape(c * kh * kw, oc)
+            np.matmul(patches2d, wmat, out=gemm_out)
+            np.copyto(buf, gemm4d.transpose(0, 3, 1, 2))
+            if gb is not None:
+                np.add(buf, gb(values).reshape(1, -1, 1, 1), out=buf)
+            values[out_slot] = buf
+
+        return step
+
+    def _emit_max_pool2d(self, node, attrs, getters, out_slot, example):
+        """Max-pool replay with the window matrix and argmax pre-allocated."""
+        (kh, kw), (sh, sw), (ph, pw) = (
+            attrs["kernel_size"], attrs["stride"], attrs["padding"]
+        )
+        xd = node.inputs[0].data
+        n, c, h, w = xd.shape
+        oh, ow = example.shape[2], example.shape[3]
+        gx = getters[0]
+        dtype = example.dtype
+
+        if ph or pw:
+            # -inf border written once; the interior is refreshed per call.
+            xp_buf = np.full((n, c, h + 2 * ph, w + 2 * pw), -np.inf, dtype)
+        else:
+            xp_buf = None
+        flat = np.empty((n, c, oh, ow, kh * kw), dtype)
+        flat6d = flat.reshape(n, c, oh, ow, kh, kw)
+        arg = np.empty((n, c, oh, ow), dtype=np.intp)
+        buf = np.empty(example.shape, dtype)
+
+        def step(values):
+            x = gx(values)
+            if xp_buf is not None:
+                xp_buf[:, :, ph : ph + h, pw : pw + w] = x
+                xp = xp_buf
+            else:
+                xp = x
+            win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+            np.copyto(flat6d, win)
+            np.argmax(flat, axis=-1, out=arg)
+            np.copyto(buf, np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0])
+            values[out_slot] = buf
+
+        return step
+
+
+def _is_builtin_backend(be) -> bool:
+    """Whether ``be`` is exactly one of the built-in numpy backends.
+
+    The specialized step emitters rewrite kernels as raw in-place numpy
+    chains that are validated bit-equal against :class:`NumpyBackend` and
+    :class:`FusedNumpyBackend` — but only against those.  Any other backend
+    (a subclass with overridden methods, a third-party registration) gets
+    the generic IR evaluators, which dispatch every operation through the
+    backend itself.
+    """
+    return type(be) in (NumpyBackend, FusedNumpyBackend)
+
+
+def serve_batches(
+    session: InferenceSession,
+    batch,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Serve arbitrarily many samples through a fixed-batch session.
+
+    ``batch`` is one array/Tensor or a sequence of them (one per session
+    input), each with the same leading sample count ``n`` — any ``n``, not
+    just the session's batch size.  Full micro-batches are served as
+    zero-copy slices through the compiled replay; an odd-sized *final*
+    chunk runs through the compiled model's eager ``no_grad`` forward
+    instead (bit-correct for any trace, including ones whose samples
+    interact through batch statistics — zero-padding would corrupt those),
+    which requires the session to have been built by
+    :func:`compile_inference` (it keeps the model reference) with the model
+    still in eval mode.  Outputs are copied out of the session's reused
+    buffer into one ``(n, ...)`` result array (pass ``out`` to reuse your
+    own).
+    """
+    items = batch if isinstance(batch, (list, tuple)) else (batch,)
+    arrays = [a.data if isinstance(a, Tensor) else np.asarray(a) for a in items]
+    if len(arrays) != len(session.input_shapes):
+        raise ValueError(
+            f"session takes {len(session.input_shapes)} input(s), got {len(arrays)}"
+        )
+    n = arrays[0].shape[0] if arrays[0].ndim else 0
+    for i, a in enumerate(arrays):
+        if a.ndim == 0 or a.shape[0] != n:
+            raise ValueError(
+                "serve_batches needs a shared leading sample dimension; "
+                f"input 0 has {n} samples, input {i} has shape {a.shape}"
+            )
+        if a.shape[1:] != session.input_shapes[i][1:]:
+            raise ValueError(
+                f"input {i} has per-sample shape {a.shape[1:]}, session "
+                f"expects {session.input_shapes[i][1:]}"
+            )
+    size = session.batch_size
+    if not session.output_shape or session.output_shape[0] != size:
+        raise ValueError(
+            "serve_batches needs a per-sample session output of shape "
+            f"(batch, ...); this session produces {session.output_shape} for "
+            f"batch size {size} (a reduced/scalar output cannot be chunked)"
+        )
+    result_shape = (n,) + session.output_shape[1:]
+    if out is None:
+        out = np.empty(result_shape, dtype=session.output_dtype)
+    elif out.shape != result_shape:
+        raise ValueError(f"out has shape {out.shape}, expected {result_shape}")
+    elif out.dtype != session.output_dtype:
+        raise ValueError(
+            f"out has dtype {out.dtype}, expected {session.output_dtype} "
+            "(a mismatched buffer would silently cast the results)"
+        )
+    for start in range(0, n, size):
+        stop = min(start + size, n)
+        if stop - start == size:
+            chunk = session.run(*(a[start:stop] for a in arrays))
+        else:
+            # The final partial micro-batch runs through the model's eager
+            # no_grad forward instead of a zero-padded replay: padding would
+            # silently corrupt any trace whose samples interact (eval
+            # batch-norm on batch statistics, axis-0 reductions, ...), while
+            # the eager forward of exactly these samples is correct for
+            # every trace shape.
+            chunk = session._run_eager_tail([a[start:stop] for a in arrays])
+        out[start:stop] = chunk[: stop - start]
+    return out

@@ -1,0 +1,212 @@
+"""Graph-IR tests: node records, capture, topological order, replay."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, ir, no_grad
+from repro.backend import get_backend
+
+
+# --------------------------------------------------------------------------- #
+# Node records
+# --------------------------------------------------------------------------- #
+def test_every_op_records_an_explicit_node():
+    x = Tensor([[1.0, -2.0], [3.0, 4.0]], requires_grad=True)
+    w = Tensor(np.eye(2, dtype=np.float32), requires_grad=True)
+    out = F.linear(x, w).relu().sum()
+    node = out._node
+    assert node is not None
+    assert node.op == "sum"
+    assert node.attrs == {"axis": None, "keepdims": False}
+    relu_node = node.inputs[0]._node
+    assert relu_node.op == "relu"
+    assert relu_node.attrs["mask"].dtype == bool
+    linear_node = relu_node.inputs[0]._node
+    assert linear_node.op == "linear"
+    assert linear_node.inputs[0] is x and linear_node.inputs[1] is w
+    assert linear_node.be is get_backend()
+    assert callable(linear_node.backward)
+
+
+def test_node_views_match_legacy_tape_attributes():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    y = x * 2.0
+    assert y._op == "mul"
+    assert len(y._prev) == 2 and y._prev[0] is x
+    assert y._backward is y._node.backward
+    leaf = Tensor([1.0])
+    assert leaf._op == "" and leaf._prev == () and leaf._backward is None
+
+
+def test_leaves_have_no_node():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    assert x._node is None
+
+
+def test_freeing_drops_node_state():
+    x = Tensor([2.0], requires_grad=True)
+    y = (x * 3.0).sum()
+    mid = y._node.inputs[0]
+    y.backward()
+    for node in (y._node, mid._node):
+        assert node.inputs == ()
+        assert node.attrs is None
+        assert node.out is None
+    with pytest.raises(RuntimeError, match="already been freed"):
+        y._node.backward()
+
+
+# --------------------------------------------------------------------------- #
+# Capture
+# --------------------------------------------------------------------------- #
+def test_capture_records_creation_order_topologically():
+    x = Tensor(np.random.default_rng(0).standard_normal((4, 3)).astype(np.float32))
+    w = Tensor(np.random.default_rng(1).standard_normal((3, 2)).astype(np.float32))
+    with no_grad(), ir.capture() as graph:
+        out = F.linear(x, w).relu().sum()
+    assert [n.op for n in graph.nodes] == ["linear", "relu", "sum"]
+    # Creation order is a topological order: every node's tensor inputs are
+    # either leaves or outputs of strictly earlier nodes.
+    produced = set()
+    for node in graph.nodes:
+        for t in node.inputs:
+            assert t._node is None or id(t._node) in produced
+        produced.add(id(node))
+    assert out._node is graph.nodes[-1]
+
+
+def test_capture_under_no_grad_records_backwardless_nodes():
+    x = Tensor([1.0, -1.0], requires_grad=True)
+    with no_grad(), ir.capture() as graph:
+        y = (x * 2.0).relu()
+    assert len(graph) == 2
+    assert all(n.backward is None for n in graph)
+    assert not y.requires_grad
+    with pytest.raises(RuntimeError):
+        y.backward()
+
+
+def test_capture_restores_previous_graph_on_exit():
+    assert ir.current_capture() is None
+    with ir.capture() as outer:
+        with ir.capture() as inner:
+            Tensor([1.0], requires_grad=True) * 2.0
+        assert ir.current_capture() is outer
+        assert len(inner) == 1 and len(outer) == 0
+    assert ir.current_capture() is None
+
+
+def test_no_capture_no_graph_growth():
+    # Outside a capture the only record is the per-tensor node chain.
+    x = Tensor([1.0], requires_grad=True)
+    y = x * 2.0
+    assert ir.current_capture() is None
+    assert y._node.op == "mul"
+
+
+# --------------------------------------------------------------------------- #
+# Toposort invariants
+# --------------------------------------------------------------------------- #
+def _check_topo_invariants(topo, root_node):
+    seen = set()
+    for node in topo:
+        for t in node.inputs:
+            pn = t._node
+            if pn is not None and pn.backward is not None:
+                assert id(pn) in seen, f"{node.op} appeared before its producer {pn.op}"
+        seen.add(id(node))
+    assert topo[-1] is root_node  # post-order: the root comes last
+    assert len(seen) == len(topo)  # no duplicates
+
+
+def test_toposort_orders_producers_before_consumers():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((5, 4)).astype(np.float32), requires_grad=True)
+    h = (x * 2.0 + 1.0).relu()
+    shared = h.sum(axis=0)
+    out = (shared * shared).sum() + h.mean()
+    topo = ir.toposort(out._node)
+    _check_topo_invariants(topo, out._node)
+
+
+def test_toposort_diamond_visits_shared_node_once():
+    a = Tensor([2.0], requires_grad=True)
+    h = a * a
+    out = (h * 2.0 + h * 3.0).sum()
+    topo = ir.toposort(out._node)
+    assert sum(1 for n in topo if n is h._node) == 1
+    _check_topo_invariants(topo, out._node)
+
+
+def test_toposort_backward_only_prunes_gradless_branches():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    const = Tensor([3.0, 4.0])  # no grad
+    with no_grad():
+        frozen = const * 2.0  # recorded nowhere: no capture, no grad
+    out = (x * frozen).sum()
+    topo = ir.toposort(out._node, backward_only=True)
+    assert {n.op for n in topo} == {"mul", "sum"}
+
+
+# --------------------------------------------------------------------------- #
+# Forward replay
+# --------------------------------------------------------------------------- #
+def test_run_forward_replays_trace_bit_exactly():
+    rng = np.random.default_rng(3)
+    x_np = rng.standard_normal((6, 8)).astype(np.float32)
+    w_np = rng.standard_normal((8, 5)).astype(np.float32)
+    x, w = Tensor(x_np), Tensor(w_np)
+    with no_grad(), ir.capture() as graph:
+        out = F.softmax(F.linear(x, w).relu() * 2.0, axis=-1)
+
+    # Replay the captured nodes over fresh arrays through the registry.
+    be = get_backend()
+    new_x = rng.standard_normal((6, 8)).astype(np.float32)
+    values = {id(x): new_x, id(w): w_np}
+    for node in graph:
+        arrays = tuple(
+            values[id(t)] if id(t) in values else t.data for t in node.inputs
+        )
+        values[id(node.out)] = ir.evaluate_node(node, be, arrays)
+
+    with no_grad():
+        expected = F.softmax(F.linear(Tensor(new_x), w).relu() * 2.0, axis=-1)
+    np.testing.assert_array_equal(values[id(out)], expected.data)
+
+
+def test_cross_entropy_replay_binds_new_targets():
+    # Targets are a data-dependent input of the node, not a frozen attr:
+    # replaying over a new batch must score the new labels.
+    rng = np.random.default_rng(8)
+    logits = Tensor(rng.standard_normal((5, 4)).astype(np.float32))
+    targets = np.array([0, 1, 2, 3, 0])
+    with no_grad(), ir.capture() as graph:
+        F.softmax_cross_entropy(logits, targets)
+    (node,) = graph.nodes
+    assert node.inputs[1].data.dtype == np.int64  # labels ride as an input
+    new_logits = rng.standard_normal((5, 4)).astype(np.float32)
+    new_targets = np.array([3, 2, 1, 0, 1])
+    replayed = ir.evaluate_node(node, get_backend(), (new_logits, new_targets))
+    with no_grad():
+        expected = F.softmax_cross_entropy(Tensor(new_logits), new_targets)
+    np.testing.assert_array_equal(replayed, expected.data)
+    # Replay keeps the eager kernel's label validation: no silent wrap-around.
+    bad = np.array([0, 1, -1, 2, 0])
+    with pytest.raises(ValueError, match=r"\[0, 4\)"):
+        ir.evaluate_node(node, get_backend(), (new_logits, bad))
+    with pytest.raises(ValueError, match=r"\[0, 4\)"):
+        ir.evaluate_node(node, get_backend(), (new_logits, np.full(5, 9)))
+
+
+def test_run_forward_unknown_op_raises():
+    with pytest.raises(KeyError, match="no forward evaluator"):
+        ir.run_forward(get_backend(), "definitely_not_an_op", (), {})
+
+
+def test_train_mode_batch_norm_replay_is_refused():
+    x = Tensor(np.random.default_rng(0).standard_normal((8, 3)).astype(np.float32))
+    with ir.capture() as graph:
+        F.batch_norm(x, training=True)
+    (node,) = graph.nodes
+    with pytest.raises(RuntimeError, match="train-mode batch_norm"):
+        ir.evaluate_node(node, get_backend(), (x.data,))

@@ -266,6 +266,53 @@ def test_sequential_container_api():
     assert len([m for m in model]) == 6
 
 
+def test_sequential_slices_share_module_identity():
+    model = make_mlp()
+    head = model[:2]
+    assert head[0] is model[0] and head[1] is model[1]  # shared, not copied
+    assert head[0].weight is model[0].weight
+    # Training the slice trains the original (same parameter storage).
+    tail = model[-1:]
+    assert tail[0] is model[4]
+    assert model[::2][1] is model[2]  # stepped slices too
+
+
+def test_sequential_mutators_feed_parameter_discovery():
+    rng = np.random.default_rng(0)
+    model = nn.Sequential(nn.Linear(8, 8, rng=rng))
+    assert model.append(nn.ReLU()) is model
+    assert model.insert(0, nn.Linear(8, 8, rng=rng)) is model  # at the front
+    assert model.extend([nn.Linear(8, 4, rng=rng), nn.ReLU()]) is model
+    assert [type(m).__name__ for m in model] == [
+        "Linear", "Linear", "ReLU", "Linear", "ReLU",
+    ]
+    # Every layer added through every mutator is discovered: 3 Linears with
+    # weight+bias each.
+    assert len(model.parameters()) == 6
+    names = dict(model.named_parameters())
+    assert "layers.0.weight" in names and "layers.3.weight" in names
+    # extend() accepts another Sequential and shares its modules.
+    other = nn.Sequential(nn.Linear(4, 2, rng=rng))
+    model.extend(other)
+    assert model[-1] is other[0]
+    assert len(model.parameters()) == 8
+    out = model(np.zeros((2, 8), dtype=np.float32))
+    assert out.shape == (2, 2)
+
+
+def test_sequential_rejects_non_modules():
+    model = nn.Sequential()
+    with pytest.raises(TypeError, match="Module"):
+        model.append(lambda x: x)
+    with pytest.raises(TypeError, match="Module"):
+        model.insert(0, np.zeros(3))
+    with pytest.raises(TypeError, match="Module"):
+        model.extend([nn.ReLU(), "not a module"])
+    assert len(model) == 0  # extend validates up front, never half-applies
+    with pytest.raises(TypeError, match="Module"):
+        nn.Sequential(nn.ReLU(), 42)
+
+
 def test_module_repr_nests():
     text = repr(make_mlp())
     assert "Sequential" in text and "Linear(8, 16" in text and "Dropout(p=0.5)" in text

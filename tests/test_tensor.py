@@ -266,3 +266,28 @@ def test_detach_breaks_graph():
     d = x.detach()
     assert not d.requires_grad
     assert check_gradients(lambda a: (a * a.detach()).sum(), [t64((3,))]).ok is False
+
+
+# --------------------------------------------------------------------------- #
+# Edge-case hardening
+# --------------------------------------------------------------------------- #
+def test_concatenate_empty_sequence_raises_clearly():
+    with pytest.raises(ValueError, match="at least one tensor"):
+        Tensor.concatenate([])
+    with pytest.raises(ValueError, match="at least one tensor"):
+        Tensor.concatenate((), axis=1)
+
+
+def test_stack_empty_sequence_raises_clearly():
+    with pytest.raises(ValueError, match="at least one tensor"):
+        Tensor.stack([])
+
+
+def test_item_on_non_scalar_reports_the_shape():
+    with pytest.raises(ValueError, match=r"\(2, 3\)"):
+        Tensor(np.zeros((2, 3))).item()
+    with pytest.raises(ValueError, match=r"\(0,\)"):
+        Tensor(np.zeros((0,))).item()
+    # Single-element tensors of any rank stay valid, like numpy's .item().
+    assert Tensor(np.float32(7.0)).item() == 7.0
+    assert Tensor([[5.0]]).item() == 5.0
