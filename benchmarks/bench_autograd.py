@@ -37,6 +37,13 @@ Workloads
     pass off vs. on (``repro.autograd.fusion``) — the per-step cost of the
     rewrite pass against the nodes it saves.  Ratios land in the ``fusion``
     section.
+``serve_queue``
+    The dynamic-batching front end: a burst of single-sample TBNet requests
+    served three ways — per-request eager ``no_grad``, per-request batch-1
+    ``session.run``, and the queued ``repro.serve.Server`` (bucketed pools,
+    sharded workers) — measured as wall-clock throughput over the burst.
+    Ratios land in the ``serving`` section; > 1.0 on every row means queued
+    dynamic batching beats both per-request paths.
 
 Every repro-engine workload runs once per **array backend** (``--backend``,
 default: every registered backend), so the JSON records per-backend numbers:
@@ -283,6 +290,64 @@ def build_fusion_chain_step(
     return step
 
 
+def run_serve_queue(
+    n_requests: int,
+    buckets,
+    workers: int,
+    max_wait: float,
+    rng: np.random.Generator,
+    rounds: int,
+) -> Dict:
+    """Throughput of three ways to serve a burst of single-sample requests.
+
+    ``eager`` runs the model's ``no_grad`` forward per request, ``session``
+    replays a batch-1 compiled session per request, and ``queued`` submits
+    every request to a :class:`repro.serve.Server` (bucketed pools over
+    ``workers`` sharded threads) and drains the futures.  Unlike the
+    step-timed workloads this measures wall clock over the whole burst —
+    the queue's win *is* the coalescing, which per-step timing would hide.
+    """
+    model = TBNet(width=16, rng=rng)
+    model.eval()
+    images, context, _ = make_synthetic_batch(n_requests, rng=rng)
+    img, ctx = images.data, context.data
+    samples = [(img[i : i + 1], ctx[i : i + 1]) for i in range(n_requests)]
+
+    session = serve.compile_inference(model, (img[:1], ctx[:1]))
+
+    def eager_all() -> None:
+        for si, sc in samples:
+            model.infer(si, sc)
+
+    def session_all() -> None:
+        for si, sc in samples:
+            session.run(si, sc)
+
+    server = serve.Server(
+        model, (img[:1], ctx[:1]), buckets, workers=workers, max_wait=max_wait
+    )
+    server.start()
+
+    def queued_all() -> None:
+        for future in [server.submit(si, sc) for si, sc in samples]:
+            future.result()
+
+    timings: Dict[str, float] = {}
+    try:
+        for mode, fn in (("eager", eager_all), ("session", session_all), ("queued", queued_all)):
+            fn()  # warmup
+            best = float("inf")
+            for _ in range(rounds):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            timings[mode] = best
+        stats = server.stats()
+    finally:
+        server.stop()
+    return {"timings": timings, "stats": stats}
+
+
 # --------------------------------------------------------------------------- #
 # Timing
 # --------------------------------------------------------------------------- #
@@ -459,6 +524,37 @@ def main(argv=None) -> int:
             inner,
         )
 
+    # Dynamic-batching front end: a burst of single-sample requests served
+    # per-request (eager / compiled session) vs through the queued Server.
+    serve_requests = 32 if quick else 192
+    serve_buckets = (1, 4, 8) if quick else (1, 4, 16, 64)
+    serve_workers = 2
+    for bname in backends:
+        with use_backend(bname):
+            queue_report = run_serve_queue(
+                serve_requests, serve_buckets, serve_workers, 0.001,
+                np.random.default_rng(8000), rounds,
+            )
+        qstats = queue_report["stats"]
+        for mode, seconds in queue_report["timings"].items():
+            rec = {
+                "workload": "serve_queue", "engine": mode, "batch": 1,
+                "backend": bname, "requests": serve_requests,
+                "total_ms": seconds * 1e3,
+                "throughput_rps": serve_requests / seconds,
+            }
+            if mode == "queued":
+                rec["workers"] = serve_workers
+                rec["buckets"] = list(serve_buckets)
+                rec["batch_occupancy"] = qstats["batch_occupancy"]
+                rec["latency_ms_p50"] = qstats["latency_ms_p50"]
+                rec["latency_ms_p95"] = qstats["latency_ms_p95"]
+            results.append(rec)
+            print(
+                f"{'serve_q':9s}{mode + '/' + bname:14s} reqs={serve_requests:<4d}"
+                f" {rec['throughput_rps']:8.0f} req/s"
+            )
+
     # Headline speedups keep their historical keys and semantics (seed engine
     # vs. repro); the repro side is the fused backend when it was measured,
     # since the fused backend is the successor of the old inline kernels.
@@ -482,7 +578,8 @@ def main(argv=None) -> int:
     backend_speedups = {}
     if "numpy" in backends and "fused" in backends:
         for r in results:
-            if r["backend"] != "numpy" or r["engine"] == "seed":
+            # serve_queue rows carry burst throughput, not per-step timings.
+            if r["backend"] != "numpy" or r["engine"] == "seed" or "best_ms" not in r:
                 continue
             twin = next(
                 (
@@ -516,11 +613,28 @@ def main(argv=None) -> int:
                 ratios[key] = r["best_ms"] / twin["best_ms"]
         return ratios
 
-    # Serving section: eager-vs-compiled per backend/batch (> 1.0 means the
+    # Inference section: eager-vs-compiled per backend/batch (> 1.0 means the
     # compiled replay beats the eager no_grad forward).
     inference = _paired_ratio("tbnet_infer", "eager", "compiled")
     # Fusion section: unfused-vs-fused backward over the same chains.
     fusion_ratios = _paired_ratio("fusion_chain", "unfused", "fused")
+
+    # Serving section: queued dynamic batching vs both per-request paths
+    # (> 1.0 on every row means the queue front end pays its overhead).
+    serving = {}
+    for bname in backends:
+        rows = {
+            r["engine"]: r for r in results
+            if r["workload"] == "serve_queue" and r["backend"] == bname
+        }
+        if {"eager", "session", "queued"} <= rows.keys():
+            queued_rps = rows["queued"]["throughput_rps"]
+            serving[f"serve_queue/{bname}/queued_vs_session"] = (
+                queued_rps / rows["session"]["throughput_rps"]
+            )
+            serving[f"serve_queue/{bname}/queued_vs_eager"] = (
+                queued_rps / rows["eager"]["throughput_rps"]
+            )
 
     # Module-vs-functional ratios are overhead measurements, not seed-engine
     # speedups, so they live under their own key: the ROADMAP's "beat the
@@ -537,7 +651,7 @@ def main(argv=None) -> int:
             overhead[f"nn_mlp/batch{batch}"] = times["functional"] / times["module"]
 
     report = {
-        "schema": "bench_autograd/v3",
+        "schema": "bench_autograd/v4",
         "meta": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -564,6 +678,7 @@ def main(argv=None) -> int:
         "overhead": overhead,
         "inference": inference,
         "fusion": fusion_ratios,
+        "serving": serving,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -578,6 +693,8 @@ def main(argv=None) -> int:
         print(f"  inference {key}: {value:.2f}x (eager/compiled)")
     for key, value in sorted(fusion_ratios.items()):
         print(f"  fusion {key}: {value:.2f}x (unfused/fused)")
+    for key, value in sorted(serving.items()):
+        print(f"  serving {key}: {value:.2f}x (queued throughput gain)")
     return 0
 
 

@@ -13,8 +13,10 @@ Layers:
   optimizers over the fused kernels.
 - :mod:`repro.models` — reference models; :class:`~repro.models.tbnet.TBNet`
   is the paper's two-branch network.
-- :mod:`repro.serve` — compiled ``no_grad`` inference: capture one eval
-  trace, replay it over new batches with pre-allocated reused buffers.
+- :mod:`repro.serve` — the serving stack: compiled ``no_grad`` trace
+  replay (:class:`~repro.serve.InferenceSession`), bucketed session pools
+  for dynamic batch shapes, and the request-queue front end with sharded
+  workers (:class:`~repro.serve.Server`).
 """
 
-__version__ = "0.5.0"
+__version__ = "0.6.0"

@@ -148,6 +148,23 @@ def _get_fusion():
     return _fusion_module
 
 
+def _unwrap_index(index):
+    """Unwrap :class:`Tensor` indices (also inside tuples) to their arrays.
+
+    Like PyTorch, ``x[idx]`` accepts an integer ``Tensor`` wherever it
+    accepts an integer ndarray; numpy itself would reject the wrapper with a
+    raw ``IndexError``.  The unwrapped form is what gets recorded in the
+    node attrs and replayed by ``np.add.at`` in the gradient path.
+    """
+    if isinstance(index, Tensor):
+        return index.data
+    if isinstance(index, tuple):
+        return tuple(
+            item.data if isinstance(item, Tensor) else item for item in index
+        )
+    return index
+
+
 def _normalize_axes(axis, ndim: int) -> Tuple[int, ...]:
     """Return ``axis`` as a tuple of non-negative ints sorted ascending."""
     if isinstance(axis, (tuple, list)):
@@ -451,9 +468,13 @@ class Tensor:
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
                 if self.requires_grad:
-                    self._accumulate_fresh(
-                        out.grad * exponent * be.power(self.data, exponent - 1)
-                    )
+                    # x**(e-1) hits zeros (e.g. the x**0.5 gradient at 0)
+                    # with a divide-by-zero RuntimeWarning; the resulting
+                    # inf matches torch, the warning spam does not.
+                    with np.errstate(divide="ignore", invalid="ignore"):
+                        self._accumulate_fresh(
+                            out.grad * exponent * be.power(self.data, exponent - 1)
+                        )
 
             return _backward
 
@@ -671,6 +692,7 @@ class Tensor:
         return self.reshape(new_shape)
 
     def __getitem__(self, index) -> "Tensor":
+        index = _unwrap_index(index)
         original_shape = self.shape
 
         def make_backward(out: "Tensor") -> Callable[[], None]:

@@ -151,6 +151,47 @@ class TBNet(nn.Module):
         context = Tensor.zeros(batch_size, self.context_dim)
         return compile_inference(self, (images, context), fuse=fuse)
 
+    def serve(
+        self,
+        buckets=(1, 4, 16, 64),
+        *,
+        workers: int = 1,
+        max_batch_size: Optional[int] = None,
+        max_wait: float = 0.002,
+        fuse: bool = True,
+        start: bool = True,
+    ):
+        """Build a dynamic-batching :class:`repro.serve.Server` over this model.
+
+        Switches the model to eval mode, compiles one bucketed
+        :class:`repro.serve.SessionPool` replica per worker, and returns the
+        request-queue server (already started unless ``start=False``)::
+
+            with model.serve(workers=2) as server:
+                logits = server(images, context)        # blocking
+                future = server.submit(images, context) # or async
+
+        Parameters are bound by reference, so in-place fine-tuning shows up
+        on every worker without recompiling.
+        """
+        from repro.serve import Server  # deferred: serve sits above models
+
+        self.eval()
+        example = (
+            Tensor.zeros(1, self.in_channels, self.image_size, self.image_size),
+            Tensor.zeros(1, self.context_dim),
+        )
+        server = Server(
+            self,
+            example,
+            buckets,
+            workers=workers,
+            max_batch_size=max_batch_size,
+            max_wait=max_wait,
+            fuse=fuse,
+        )
+        return server.start() if start else server
+
 
 def make_synthetic_batch(
     batch: int,

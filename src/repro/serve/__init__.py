@@ -1,18 +1,37 @@
 """Batched ``no_grad`` serving over compiled trace replay.
 
-The first concrete step toward the production-serving north star:
-:func:`compile_inference` captures one eval-mode forward trace of a model
-through the graph IR and returns an :class:`InferenceSession` that replays
-it over new batches with pre-allocated, reused buffers — no tape, no module
-dispatch, fused composite kernels.  :func:`serve_batches` chunks an
-arbitrarily long request stream through the fixed-batch session.
+The serving stack toward the production north star, bottom-up:
+
+- :func:`compile_inference` captures one eval-mode forward trace of a model
+  through the graph IR and returns an :class:`InferenceSession` that replays
+  it over new batches with pre-allocated, reused buffers — no tape, no
+  module dispatch, fused composite kernels;
+- :func:`serve_batches` chunks an arbitrarily long request stream through
+  one fixed-batch session;
+- :class:`SessionPool` compiles one session per bucket size and routes any
+  sample count through a greedy bucket decomposition, retiring the eager
+  odd-chunk fallback to a last resort;
+- :class:`Server` is the dynamic-batching request-queue front end: clients
+  submit arrays and get futures, batching loops on sharded worker threads
+  coalesce requests, run them through per-worker pool replicas, and scatter
+  result copies back, with queue/latency/throughput metrics on
+  :meth:`Server.stats`.
 
 See :mod:`repro.serve.session` for the execution model and guarantees
-(bit-identical to the eager ``no_grad`` forward; train-mode traces are
-rejected; parameters are bound by reference, batch-norm statistics are
-frozen at compile).
+(bit-identical to the eager ``no_grad`` forward; dtype and shape are both
+part of the compiled signature; train-mode traces are rejected; parameters
+are bound by reference, batch-norm statistics are frozen at compile) and
+:mod:`repro.serve.frontend` for the batching and sharding semantics.
 """
 
+from repro.serve.frontend import DEFAULT_BUCKETS, Server, SessionPool
 from repro.serve.session import InferenceSession, compile_inference, serve_batches
 
-__all__ = ["InferenceSession", "compile_inference", "serve_batches"]
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "InferenceSession",
+    "Server",
+    "SessionPool",
+    "compile_inference",
+    "serve_batches",
+]

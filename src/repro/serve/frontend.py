@@ -1,0 +1,576 @@
+"""Dynamic-batching serving front end: bucketed pools, a request queue,
+sharded workers.
+
+:class:`InferenceSession` replays exactly one batch shape; this module turns
+that into a front end that serves *any* traffic shape:
+
+- :class:`SessionPool` compiles one session per **bucket size** (default
+  1/4/16/64) in a single up-front pass over the model and routes any
+  incoming sample count through a greedy largest-first decomposition
+  (85 → 64+16+4+1), serving each chunk as a zero-copy slice through the
+  matching compiled session.  The eager odd-chunk fallback that
+  :func:`~repro.serve.session.serve_batches` leans on becomes a last
+  resort, reached only when the remainder is smaller than every bucket
+  (impossible with a size-1 bucket in the pool).
+- :class:`Server` is the request-queue front end: clients :meth:`submit
+  <Server.submit>` arrays and get :class:`concurrent.futures.Future`\\ s
+  back; a batching loop coalesces pending requests up to
+  ``max_batch_size`` samples (waiting at most ``max_wait`` seconds once a
+  request is in hand), packs them into bucket runs, and scatters **result
+  copies** back into the futures — callers own their outputs, the reused
+  session buffers never escape.
+- **Sharding**: ``workers=N`` runs N batching loops, each holding its own
+  :class:`SessionPool` replica.  Replicas are safe because replay touches
+  only per-session pre-allocated buffers while parameters stay bound by
+  reference to the one shared model (an in-place fine-tune step shows up
+  on every worker without recompiling).
+- **Metrics**: :meth:`Server.stats` reports queue depth, batch occupancy,
+  p50/p95 request latency and served throughput; the ``serve_queue``
+  benchmark workload records them per backend.
+
+Numerics contract: every routed micro-batch is **bit-equal to the eager
+``no_grad`` forward of exactly those samples** (the per-session guarantee).
+Whole-request results can differ from one full-batch eager forward in the
+last ulp, because BLAS kernels reassociate differently across batch sizes —
+the same caveat any dynamic batcher inherits.  Chunk boundaries only
+*matter* for traces whose samples interact through batch statistics
+(:attr:`SessionPool.has_batch_statistics`); route such models with a single
+bucket or keep them on the eager path.
+
+Dtype is part of the compiled signature: requests must match the example
+batch's dtypes exactly (see :meth:`InferenceSession.run`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.serve.session import (
+    InferenceSession,
+    _as_input_tensors,
+    _coerce_arrays,
+    compile_inference,
+)
+
+__all__ = ["SessionPool", "Server", "DEFAULT_BUCKETS"]
+
+DEFAULT_BUCKETS = (1, 4, 16, 64)
+
+
+def _normalize_buckets(buckets: Sequence[int]) -> Tuple[int, ...]:
+    """Validate and sort bucket sizes largest-first."""
+    cleaned = sorted({int(b) for b in buckets}, reverse=True)
+    if not cleaned:
+        raise ValueError("SessionPool needs at least one bucket size")
+    if cleaned[-1] < 1:
+        raise ValueError(f"bucket sizes must be positive, got {sorted(buckets)}")
+    return tuple(cleaned)
+
+
+class SessionPool:
+    """One compiled :class:`InferenceSession` per bucket size, plus routing.
+
+    Parameters
+    ----------
+    model:
+        An eval-mode :class:`~repro.nn.module.Module` (same contract as
+        :func:`~repro.serve.session.compile_inference`).
+    example_batch:
+        One array/Tensor or a sequence of them with a leading sample
+        dimension; only the per-sample shapes and dtypes matter — each
+        bucket's example is built by cycling these samples.
+    buckets:
+        The batch sizes to compile, default ``(1, 4, 16, 64)``.  Include
+        ``1`` so every sample count decomposes exactly; without it,
+        remainders smaller than the smallest bucket fall back to the
+        model's eager ``no_grad`` forward (counted in :attr:`eager_calls`).
+    fuse:
+        Run the trace-time fusion pass on each compiled session (default).
+
+    Like the sessions it holds, a pool is **not thread-safe**: give each
+    worker its own replica (:class:`Server` does).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        example_batch,
+        buckets: Sequence[int] = DEFAULT_BUCKETS,
+        fuse: bool = True,
+    ) -> None:
+        self._buckets = _normalize_buckets(buckets)
+        examples = [t.data for t in _as_input_tensors(example_batch)]
+        for i, arr in enumerate(examples):
+            if arr.ndim == 0 or arr.shape[0] < 1:
+                raise ValueError(
+                    f"example input {i} needs at least one sample along a "
+                    f"leading batch dimension, got shape {arr.shape}"
+                )
+        if len({a.shape[0] for a in examples}) != 1:
+            raise ValueError(
+                "example inputs disagree on the sample count: "
+                f"{[a.shape[0] for a in examples]}"
+            )
+        self._per_sample_shapes = [a.shape[1:] for a in examples]
+        self._dtypes = [a.dtype for a in examples]
+
+        # One up-front compile pass: every bucket's example cycles the same
+        # sample rows (np.resize repeats whole rows because the trailing
+        # extents match), so all sessions capture the same trace modulo the
+        # batch extent.  Model validation/rejection happens on the first
+        # compile and, being deterministic, cannot diverge across buckets.
+        self.sessions: Dict[int, InferenceSession] = {}
+        for bucket in self._buckets:
+            example = tuple(
+                np.resize(a, (bucket,) + a.shape[1:]) for a in examples
+            )
+            session = compile_inference(model, example, fuse=fuse)
+            if not session.output_shape or session.output_shape[0] != bucket:
+                raise ValueError(
+                    "SessionPool needs a per-sample model output of shape "
+                    f"(batch, ...); the bucket-{bucket} trace produces "
+                    f"{session.output_shape} (a reduced/scalar output cannot "
+                    "be bucket-served)"
+                )
+            self.sessions[bucket] = session
+        largest = self.sessions[self._buckets[0]]
+        self._out_per_sample = largest.output_shape[1:]
+        self.output_dtype = largest.output_dtype
+        #: Chunk boundaries change results for traces whose samples interact
+        #: through batch statistics; see the module docstring.
+        self.has_batch_statistics = any(
+            s.has_batch_statistics for s in self.sessions.values()
+        )
+        #: Routing counters (per-pool, not thread-safe): bucket size ->
+        #: number of compiled runs, plus eager last-resort serves.
+        self.bucket_calls: Dict[int, int] = {b: 0 for b in self._buckets}
+        self.eager_calls = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def buckets(self) -> Tuple[int, ...]:
+        """Compiled bucket sizes, largest first."""
+        return self._buckets
+
+    @property
+    def max_bucket(self) -> int:
+        return self._buckets[0]
+
+    @property
+    def input_dtypes(self) -> List[np.dtype]:
+        return list(self._dtypes)
+
+    @property
+    def per_sample_shapes(self) -> List[Tuple[int, ...]]:
+        return list(self._per_sample_shapes)
+
+    def decompose(self, n: int) -> Tuple[List[int], int]:
+        """Greedy largest-first decomposition of ``n`` into bucket sizes.
+
+        Returns ``(chunks, remainder)``; the remainder is 0 whenever the
+        pool has a size-1 bucket, otherwise it is the leftover sample count
+        (smaller than every bucket) that must go through the eager path.
+        """
+        if n < 0:
+            raise ValueError(f"sample count must be >= 0, got {n}")
+        chunks: List[int] = []
+        remaining = n
+        for bucket in self._buckets:
+            while remaining >= bucket:
+                chunks.append(bucket)
+                remaining -= bucket
+        return chunks, remaining
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def validate(self, arrays: Sequence[np.ndarray]) -> int:
+        """Check per-sample shapes/dtypes of one request; return its size."""
+        if len(arrays) != len(self._per_sample_shapes):
+            raise ValueError(
+                f"pool takes {len(self._per_sample_shapes)} input(s), "
+                f"got {len(arrays)}"
+            )
+        n = arrays[0].shape[0] if arrays[0].ndim else 0
+        for i, arr in enumerate(arrays):
+            if arr.ndim == 0 or arr.shape[0] != n:
+                raise ValueError(
+                    "inputs need a shared leading sample dimension; input 0 "
+                    f"has {n} samples, input {i} has shape {arr.shape}"
+                )
+            if arr.shape[1:] != self._per_sample_shapes[i]:
+                raise ValueError(
+                    f"input {i} has per-sample shape {arr.shape[1:]}, pool "
+                    f"expects {self._per_sample_shapes[i]}"
+                )
+            if arr.dtype != self._dtypes[i]:
+                raise ValueError(
+                    f"input {i} has dtype {arr.dtype}, pool was compiled for "
+                    f"{self._dtypes[i]} (a silent cast would break the "
+                    "bit-equality contract)"
+                )
+        return n
+
+    def serve(self, batch, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Serve any number of samples through the bucketed sessions.
+
+        ``batch`` is one array/Tensor or a sequence of them (one per model
+        input) sharing a leading sample count ``n``.  The request is routed
+        through :meth:`decompose`; each chunk is a zero-copy slice replayed
+        by the matching compiled session and copied into the ``(n, ...)``
+        result (pass ``out`` to reuse your own buffer).  A remainder smaller
+        than every bucket — only possible without a size-1 bucket — is the
+        eager last resort.
+        """
+        arrays = _coerce_arrays(batch)
+        n = self.validate(arrays)
+        result_shape = (n,) + self._out_per_sample
+        if out is None:
+            out = np.empty(result_shape, dtype=self.output_dtype)
+        elif out.shape != result_shape:
+            raise ValueError(f"out has shape {out.shape}, expected {result_shape}")
+        elif out.dtype != self.output_dtype:
+            raise ValueError(
+                f"out has dtype {out.dtype}, expected {self.output_dtype} "
+                "(a mismatched buffer would silently cast the results)"
+            )
+        if n == 0:
+            return out
+        chunks, remainder = self.decompose(n)
+        start = 0
+        for bucket in chunks:
+            stop = start + bucket
+            session = self.sessions[bucket]
+            out[start:stop] = session.run(*(a[start:stop] for a in arrays))
+            self.bucket_calls[bucket] += 1
+            start = stop
+        if remainder:
+            out[start:] = self.sessions[self.max_bucket]._run_eager_tail(
+                [a[start:] for a in arrays]
+            )
+            self.eager_calls += 1
+        return out
+
+    __call__ = serve
+
+
+class _Request:
+    __slots__ = ("arrays", "n", "future", "submitted_at")
+
+    def __init__(self, arrays, n, future, submitted_at):
+        self.arrays = arrays
+        self.n = n
+        self.future = future
+        self.submitted_at = submitted_at
+
+
+class Server:
+    """A dynamic-batching request queue over sharded :class:`SessionPool`\\ s.
+
+    Clients call :meth:`submit` with one request's arrays (leading sample
+    dimension, any size) and get a :class:`concurrent.futures.Future`
+    resolving to an owned copy of that request's outputs.  ``workers``
+    batching threads each drain the shared queue: a worker takes the oldest
+    pending request, keeps coalescing whole requests until
+    ``max_batch_size`` samples are in hand or ``max_wait`` seconds have
+    passed, runs the coalesced batch through its private pool replica, and
+    scatters the results back.
+
+    Use as a context manager, or call :meth:`start`/:meth:`stop`
+    explicitly::
+
+        with Server(model, example, workers=2) as server:
+            futures = [server.submit(x) for x in requests]
+            results = [f.result() for f in futures]
+
+    A server is single-use: once stopped it cannot be restarted.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        example_batch,
+        buckets: Sequence[int] = DEFAULT_BUCKETS,
+        *,
+        workers: int = 1,
+        max_batch_size: Optional[int] = None,
+        max_wait: float = 0.002,
+        fuse: bool = True,
+        latency_window: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self._pools = [
+            SessionPool(model, example_batch, buckets, fuse=fuse)
+            for _ in range(workers)
+        ]
+        self._max_batch = (
+            int(max_batch_size) if max_batch_size is not None
+            else self._pools[0].max_bucket
+        )
+        if self._max_batch < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        self._max_wait = float(max_wait)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: deque = deque()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._stopping = False
+        # Metrics (guarded by self._lock).
+        self._submitted_requests = 0
+        self._completed_requests = 0
+        self._completed_samples = 0
+        self._dispatches = 0
+        self._dispatched_samples = 0
+        self._latencies: deque = deque(maxlen=latency_window)
+        self._first_dispatch_at: Optional[float] = None
+        self._last_completion_at: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def workers(self) -> int:
+        return len(self._pools)
+
+    @property
+    def max_batch_size(self) -> int:
+        return self._max_batch
+
+    def start(self) -> "Server":
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("a stopped Server cannot be restarted")
+            if self._started:
+                return self
+            self._started = True
+            self._threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(pool,),
+                    name=f"repro-serve-worker-{i}",
+                    daemon=True,
+                )
+                for i, pool in enumerate(self._pools)
+            ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers.
+
+        With ``drain=True`` (default) every already-submitted request is
+        served before the workers exit; with ``drain=False`` pending
+        futures are cancelled.
+        """
+        with self._cond:
+            if not self._started or self._stopping:
+                self._stopping = True
+                return
+            self._stopping = True
+            if not drain:
+                while self._queue:
+                    self._queue.popleft().future.cancel()
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # Client surface
+    # ------------------------------------------------------------------ #
+    def submit(self, *batch) -> Future:
+        """Enqueue one request; returns a future of its ``(n, ...)`` outputs.
+
+        Shapes and dtypes are validated here, synchronously, so malformed
+        requests raise at the call site instead of poisoning a future.  The
+        arrays are read at dispatch time — do not mutate them before the
+        future resolves.  The resolved array is an owned copy.
+        """
+        pool = self._pools[0]
+        arrays = _coerce_arrays(batch)
+        n = pool.validate(arrays)
+        future: Future = Future()
+        if n == 0:
+            future.set_result(
+                np.empty((0,) + pool._out_per_sample, dtype=pool.output_dtype)
+            )
+            return future
+        request = _Request(arrays, n, future, time.monotonic())
+        with self._cond:
+            if not self._started or self._stopping:
+                raise RuntimeError(
+                    "Server is not running (start() it, or use it as a "
+                    "context manager)"
+                )
+            self._queue.append(request)
+            self._submitted_requests += 1
+            self._cond.notify()
+        return future
+
+    def __call__(self, *batch) -> np.ndarray:
+        """Blocking convenience: submit one request and wait for its result."""
+        return self.submit(*batch).result()
+
+    def stats(self) -> Dict[str, float]:
+        """A snapshot of the serving metrics.
+
+        - ``queue_depth``: requests currently waiting;
+        - ``batch_occupancy``: mean coalesced samples per dispatch divided
+          by ``max_batch_size`` (1.0 = every dispatch full; an oversized
+          single request counts as one full dispatch);
+        - ``latency_ms_p50`` / ``latency_ms_p95``: submit-to-result request
+          latency percentiles over the recent window;
+        - ``throughput_rps``: completed samples per second between the
+          first dispatch and the latest completion;
+        - plus raw counters (requests/samples/batches) and the pools'
+          bucket routing counts.
+        """
+        with self._lock:
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            depth = len(self._queue)
+            dispatches = self._dispatches
+            occupancy = (
+                self._dispatched_samples / (dispatches * self._max_batch)
+                if dispatches
+                else 0.0
+            )
+            elapsed = (
+                self._last_completion_at - self._first_dispatch_at
+                if self._first_dispatch_at is not None
+                and self._last_completion_at is not None
+                else 0.0
+            )
+            throughput = self._completed_samples / elapsed if elapsed > 0 else 0.0
+            snapshot = {
+                "queue_depth": float(depth),
+                "requests_submitted": float(self._submitted_requests),
+                "requests_completed": float(self._completed_requests),
+                "samples_completed": float(self._completed_samples),
+                "batches_dispatched": float(dispatches),
+                "batch_occupancy": float(occupancy),
+                "throughput_rps": float(throughput),
+            }
+        snapshot["latency_ms_p50"] = (
+            float(np.percentile(latencies, 50) * 1e3) if latencies.size else 0.0
+        )
+        snapshot["latency_ms_p95"] = (
+            float(np.percentile(latencies, 95) * 1e3) if latencies.size else 0.0
+        )
+        bucket_calls: Dict[int, int] = {}
+        for pool in self._pools:
+            for bucket, count in pool.bucket_calls.items():
+                bucket_calls[bucket] = bucket_calls.get(bucket, 0) + count
+        snapshot["bucket_calls"] = bucket_calls  # type: ignore[assignment]
+        snapshot["eager_tail_serves"] = float(
+            sum(pool.eager_calls for pool in self._pools)
+        )
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Batching loop
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> Optional[List[_Request]]:
+        """Take one coalesced batch off the queue (None = shut down).
+
+        Blocks until a request arrives, then keeps absorbing whole pending
+        requests while the running total stays within ``max_batch_size``,
+        waiting up to ``max_wait`` seconds for stragglers before
+        dispatching what it has.  Requests are never split: a request
+        larger than ``max_batch_size`` is dispatched alone (the pool
+        decomposes it internally).
+
+        Every collected future is moved to RUNNING here
+        (``set_running_or_notify_cancel``): futures a client already
+        cancelled are dropped, and a cancel arriving after collection
+        becomes a no-op instead of an ``InvalidStateError`` when the
+        worker scatters results.
+        """
+        with self._cond:
+            while True:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue:
+                    return None  # stopping, queue drained
+                first = self._queue.popleft()
+                if first.future.set_running_or_notify_cancel():
+                    break  # not cancelled; serve it
+            requests = [first]
+            total = first.n
+            deadline = time.monotonic() + self._max_wait
+            while total < self._max_batch:
+                if self._queue:
+                    if total + self._queue[0].n > self._max_batch:
+                        break
+                    request = self._queue.popleft()
+                    if not request.future.set_running_or_notify_cancel():
+                        continue  # cancelled while queued: drop it
+                    requests.append(request)
+                    total += request.n
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or self._stopping:
+                        break
+                    self._cond.wait(timeout=remaining)
+            if self._first_dispatch_at is None:
+                self._first_dispatch_at = time.monotonic()
+            return requests
+
+    def _worker(self, pool: SessionPool) -> None:
+        while True:
+            requests = self._collect()
+            if requests is None:
+                return
+            total = sum(r.n for r in requests)
+            if len(requests) == 1:
+                arrays = requests[0].arrays
+            else:
+                arrays = [
+                    np.concatenate([r.arrays[i] for r in requests])
+                    for i in range(len(requests[0].arrays))
+                ]
+            try:
+                out = pool.serve(arrays)
+            except BaseException as exc:  # scatter the failure, keep serving
+                for request in requests:
+                    request.future.set_exception(exc)
+                continue
+            done_at = time.monotonic()
+            if len(requests) == 1:
+                # `out` is a fresh per-call array no one else holds; hand it
+                # over without the defensive copy.
+                requests[0].future.set_result(out)
+            else:
+                start = 0
+                for request in requests:
+                    request.future.set_result(out[start : start + request.n].copy())
+                    start += request.n
+            with self._lock:
+                self._dispatches += 1
+                # Clamped so occupancy stays a fraction <= 1.0: an oversized
+                # single request (never split) counts as one full dispatch.
+                self._dispatched_samples += min(total, self._max_batch)
+                self._completed_requests += len(requests)
+                self._completed_samples += total
+                self._last_completion_at = done_at
+                for request in requests:
+                    self._latencies.append(done_at - request.submitted_at)

@@ -75,8 +75,20 @@ def _as_input_tensors(example_batch) -> Tuple[Tensor, ...]:
         if isinstance(item, Tensor):
             out.append(Tensor(item.data, requires_grad=False, dtype=item.data.dtype))
         else:
-            out.append(Tensor(np.asarray(item)))
+            # Preserve the example's dtype: a float64 (or integer-label)
+            # ndarray example must compile a session of that dtype, not be
+            # silently folded to the Tensor float32 default.
+            arr = np.asarray(item)
+            out.append(Tensor(arr, dtype=arr.dtype))
     return tuple(out)
+
+
+def _coerce_arrays(batch) -> List[np.ndarray]:
+    """One request's inputs as plain arrays: ``Tensor`` → ``.data``, else
+    ``np.asarray``.  The single coercion rule shared by every serving entry
+    point (``serve_batches``, ``SessionPool.serve``, ``Server.submit``)."""
+    items = batch if isinstance(batch, (list, tuple)) else (batch,)
+    return [a.data if isinstance(a, Tensor) else np.asarray(a) for a in items]
 
 
 def _reject_training_nodes(nodes: Sequence[ir.GraphNode]) -> None:
@@ -300,6 +312,10 @@ class InferenceSession:
         return [shape for shape, _ in self._input_meta]
 
     @property
+    def input_dtypes(self) -> List[np.dtype]:
+        return [dtype for _, dtype in self._input_meta]
+
+    @property
     def num_steps(self) -> int:
         return len(self._steps)
 
@@ -325,7 +341,15 @@ class InferenceSession:
                     "or recompile for the new shape)"
                 )
             if arr.dtype != dtype:
-                arr = arr.astype(dtype)
+                # A silent cast would abandon the pre-allocated buffers'
+                # bit-equality contract (f64 in, f32 buffers drops precision;
+                # f32 in, f64 buffers scores values the eager forward never
+                # saw) — dtype is part of the compiled signature, like shape.
+                raise ValueError(
+                    f"input {i} has dtype {arr.dtype}; this session was "
+                    f"compiled for {dtype} (cast the batch explicitly or "
+                    "recompile with an example of the new dtype)"
+                )
             values[i] = arr
         for step in self._steps:
             step(values)
@@ -674,9 +698,13 @@ def serve_batches(
     still in eval mode.  Outputs are copied out of the session's reused
     buffer into one ``(n, ...)`` result array (pass ``out`` to reuse your
     own).
+
+    For production request streams prefer
+    :class:`repro.serve.SessionPool`, which decomposes any sample count
+    into a set of bucketed compiled sessions (so odd sizes still replay
+    compiled code) and demotes this eager fallback to a last resort.
     """
-    items = batch if isinstance(batch, (list, tuple)) else (batch,)
-    arrays = [a.data if isinstance(a, Tensor) else np.asarray(a) for a in items]
+    arrays = _coerce_arrays(batch)
     if len(arrays) != len(session.input_shapes):
         raise ValueError(
             f"session takes {len(session.input_shapes)} input(s), got {len(arrays)}"
@@ -692,6 +720,12 @@ def serve_batches(
             raise ValueError(
                 f"input {i} has per-sample shape {a.shape[1:]}, session "
                 f"expects {session.input_shapes[i][1:]}"
+            )
+        if a.dtype != session.input_dtypes[i]:
+            raise ValueError(
+                f"input {i} has dtype {a.dtype}, session was compiled for "
+                f"{session.input_dtypes[i]} (a silent cast would break the "
+                "bit-equality contract)"
             )
     size = session.batch_size
     if not session.output_shape or session.output_shape[0] != size:
@@ -710,6 +744,11 @@ def serve_batches(
             f"out has dtype {out.dtype}, expected {session.output_dtype} "
             "(a mismatched buffer would silently cast the results)"
         )
+    if n == 0:
+        # Pinned behavior, not an accident of the loop: an empty request
+        # stream yields an empty (0, ...) result without touching the
+        # session or the eager path.
+        return out
     for start in range(0, n, size):
         stop = min(start + size, n)
         if stop - start == size:

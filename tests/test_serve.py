@@ -479,3 +479,68 @@ def test_compile_rejects_ops_without_an_evaluator():
     model.eval()
     with pytest.raises(ValueError, match="my_custom_double"):
         compile_inference(model, np.zeros((2, 3), dtype=np.float32))
+
+
+# --------------------------------------------------------------------------- #
+# Dtype contract
+# --------------------------------------------------------------------------- #
+def test_run_rejects_dtype_mismatched_inputs():
+    # A silent cast abandoned the pre-allocated buffers' bit-equality
+    # contract; dtype is part of the compiled signature, like shape.
+    rng = np.random.default_rng(24)
+    model = nn.Sequential(nn.Linear(4, 2, rng=rng))
+    model.eval()
+    session = compile_inference(model, rng.standard_normal((4, 4)).astype(np.float32))
+    with pytest.raises(ValueError, match="dtype"):
+        session.run(rng.standard_normal((4, 4)))  # float64 into f32 session
+    # The float64-compiled direction: a float32 batch must be rejected too.
+    session64 = compile_inference(
+        model, Tensor(rng.standard_normal((4, 4)), dtype=np.float64)
+    )
+    assert session64.input_dtypes == [np.dtype(np.float64)]
+    with pytest.raises(ValueError, match="dtype"):
+        session64.run(rng.standard_normal((4, 4)).astype(np.float32))
+    out = session64.run(rng.standard_normal((4, 4)))
+    assert out.dtype == np.float64
+
+
+def test_serve_batches_rejects_dtype_mismatched_inputs():
+    rng = np.random.default_rng(25)
+    model = nn.Sequential(nn.Linear(4, 2, rng=rng))
+    model.eval()
+    session = compile_inference(model, rng.standard_normal((8, 4)).astype(np.float32))
+    with pytest.raises(ValueError, match="dtype"):
+        serve_batches(session, rng.standard_normal((5, 4)))  # f64 stream
+    with pytest.raises(ValueError, match="dtype"):
+        serve_batches(session, rng.standard_normal((8, 4)))  # full chunk too
+
+
+def test_compile_preserves_ndarray_example_dtype():
+    # A float64 ndarray example used to be folded to the Tensor float32
+    # default, silently compiling a session of the wrong dtype.
+    rng = np.random.default_rng(26)
+    model = nn.Sequential(nn.Linear(4, 3, rng=rng))
+    model.eval()
+    example = rng.standard_normal((2, 4))  # float64 ndarray
+    session = compile_inference(model, example)
+    assert session.input_dtypes == [np.dtype(np.float64)]
+    assert session.output_dtype == np.float64
+    batch = rng.standard_normal((2, 4))
+    with no_grad():
+        expected = model(Tensor(batch, dtype=np.float64)).data
+    np.testing.assert_array_equal(session.run(batch), expected)
+
+
+def test_serve_batches_zero_sample_stream_is_pinned():
+    # An empty stream yields an empty (0, ...) result of the output dtype
+    # without touching the session or the eager path — pinned behavior,
+    # not an accident of the chunk loop.
+    rng = np.random.default_rng(27)
+    model = nn.Sequential(nn.Linear(4, 2, rng=rng))
+    model.eval()
+    session = compile_inference(model, rng.standard_normal((8, 4)).astype(np.float32))
+    model.train()  # would make any eager-tail touch raise
+    out = serve_batches(session, np.zeros((0, 4), dtype=np.float32))
+    assert out.shape == (0, 2)
+    assert out.dtype == session.output_dtype
+    model.eval()

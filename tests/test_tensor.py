@@ -291,3 +291,49 @@ def test_item_on_non_scalar_reports_the_shape():
     # Single-element tensors of any rank stay valid, like numpy's .item().
     assert Tensor(np.float32(7.0)).item() == 7.0
     assert Tensor([[5.0]]).item() == 5.0
+
+
+def test_getitem_accepts_tensor_indices():
+    # Like torch, x[idx] unwraps an integer Tensor index to its array
+    # instead of surfacing numpy's raw IndexError about the wrapper type.
+    x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True, dtype=np.float64)
+    idx = Tensor(np.array([2, 0]), dtype=np.int64)
+    out = x[idx]
+    np.testing.assert_array_equal(out.data, x.data[[2, 0]])
+    out.sum().backward()
+    expected = np.zeros((3, 4))
+    expected[[2, 0]] = 1.0
+    np.testing.assert_array_equal(x.grad, expected)
+
+
+def test_getitem_unwraps_tensor_inside_tuple_index():
+    x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True, dtype=np.float64)
+    rows = Tensor(np.array([0, 2]), dtype=np.int64)
+    out = x[rows, 1]
+    np.testing.assert_array_equal(out.data, x.data[[0, 2], 1])
+    out.sum().backward()
+    expected = np.zeros((3, 4))
+    expected[[0, 2], 1] = 1.0
+    np.testing.assert_array_equal(x.grad, expected)
+
+
+def test_getitem_tensor_index_duplicates_accumulate():
+    # The np.add.at scatter path must keep summing duplicate indices after
+    # the unwrap, exactly as it does for a plain integer array index.
+    x = Tensor(np.arange(4.0), requires_grad=True, dtype=np.float64)
+    idx = Tensor(np.array([1, 1, 3]), dtype=np.int64)
+    (x[idx] * Tensor(np.array([1.0, 2.0, 5.0]), dtype=np.float64)).sum().backward()
+    np.testing.assert_array_equal(x.grad, [0.0, 3.0, 0.0, 5.0])
+
+
+def test_pow_gradient_at_zero_is_silent_and_matches_torch():
+    import warnings
+
+    x = Tensor(np.array([0.0, 4.0, 9.0]), requires_grad=True, dtype=np.float64)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any RuntimeWarning fails the test
+        (x ** 0.5).sum().backward()
+    # d/dx sqrt(x) at 0 is +inf, matching torch; the old path also produced
+    # inf but spewed a divide-by-zero RuntimeWarning while doing so.
+    assert np.isinf(x.grad[0])
+    np.testing.assert_allclose(x.grad[1:], [0.25, 1.0 / 6.0])
