@@ -43,7 +43,14 @@ Workloads
     ``session.run``, and the queued ``repro.serve.Server`` (bucketed pools,
     sharded workers) — measured as wall-clock throughput over the burst.
     Ratios land in the ``serving`` section; > 1.0 on every row means queued
-    dynamic batching beats both per-request paths.
+    dynamic batching beats both per-request paths.  An **overload** pair of
+    rows drives arrival rate far above a deterministically capped service
+    rate (fault-injected per-serve latency, ``max_batch_size=1``) and
+    compares load-shedding (``queue_limit`` + ``shed_oldest``) against
+    unbounded queueing: the shed rate and the p99 latency of completed
+    requests land in the ``resilience`` section, alongside the queued run's
+    resilience counters (``requests_rejected`` / ``requests_expired`` /
+    ``batches_retried`` / ``worker_restarts`` / ``latency_ms_p99``).
 
 Every repro-engine workload runs once per **array backend** (``--backend``,
 default: every registered backend), so the JSON records per-backend numbers:
@@ -348,6 +355,69 @@ def run_serve_queue(
     return {"timings": timings, "stats": stats}
 
 
+def run_serve_overload(
+    n_requests: int,
+    service_delay: float,
+    queue_limit: int,
+    rng: np.random.Generator,
+) -> Dict:
+    """Overload (arrival rate >> capacity): load-shedding vs unbounded queue.
+
+    The service rate is capped deterministically: fault-injected latency of
+    ``service_delay`` per serve call with ``max_batch_size=1``, so coalescing
+    cannot absorb the burst and capacity is exactly ``1/service_delay``
+    requests per second.  The whole burst is submitted effectively at once —
+    far above capacity — so the unbounded queue builds a backlog whose tail
+    latency grows with queue position, while ``shed_oldest`` with
+    ``queue_limit`` caps the backlog (bounded p99 for completed requests) at
+    the price of cancelled stale futures.  Reports per mode: wall-clock,
+    completed count, shed rate, and the p99 latency of completed requests.
+    """
+    from concurrent.futures import CancelledError
+
+    model = TBNet(width=16, rng=rng)
+    model.eval()
+    images, context, _ = make_synthetic_batch(n_requests, rng=rng)
+    img, ctx = images.data, context.data
+    samples = [(img[i : i + 1], ctx[i : i + 1]) for i in range(n_requests)]
+
+    reports: Dict[str, Dict] = {}
+    for mode in ("unbounded", "shed"):
+        kwargs = (
+            {"queue_limit": queue_limit, "overload": "shed_oldest"}
+            if mode == "shed"
+            else {}
+        )
+        server = serve.Server(
+            model, (img[:1], ctx[:1]), (1,),
+            workers=1, max_batch_size=1, max_wait=0.0, **kwargs,
+        )
+        server.start()
+        try:
+            with serve.inject_faults(server, latency=service_delay, seed=0):
+                start = time.perf_counter()
+                futures = [server.submit(si, sc) for si, sc in samples]
+                completed = 0
+                for future in futures:
+                    try:
+                        future.result()
+                        completed += 1
+                    except CancelledError:
+                        pass  # shed
+                elapsed = time.perf_counter() - start
+                stats = server.stats()
+        finally:
+            server.stop()
+        reports[mode] = {
+            "elapsed": elapsed,
+            "completed": completed,
+            "shed_rate": stats["requests_shed"] / max(1.0, stats["requests_submitted"]),
+            "latency_ms_p99": stats["latency_ms_p99"],
+            "stats": stats,
+        }
+    return reports
+
+
 # --------------------------------------------------------------------------- #
 # Timing
 # --------------------------------------------------------------------------- #
@@ -529,6 +599,10 @@ def main(argv=None) -> int:
     serve_requests = 32 if quick else 192
     serve_buckets = (1, 4, 8) if quick else (1, 4, 16, 64)
     serve_workers = 2
+    overload_requests = 32 if quick else 96
+    overload_delay = 0.002
+    overload_limit = 8
+    resilience: Dict[str, Dict] = {}
     for bname in backends:
         with use_backend(bname):
             queue_report = run_serve_queue(
@@ -549,11 +623,53 @@ def main(argv=None) -> int:
                 rec["batch_occupancy"] = qstats["batch_occupancy"]
                 rec["latency_ms_p50"] = qstats["latency_ms_p50"]
                 rec["latency_ms_p95"] = qstats["latency_ms_p95"]
+                rec["latency_ms_p99"] = qstats["latency_ms_p99"]
             results.append(rec)
             print(
                 f"{'serve_q':9s}{mode + '/' + bname:14s} reqs={serve_requests:<4d}"
                 f" {rec['throughput_rps']:8.0f} req/s"
             )
+        # Overload: arrival >> capacity, shed_oldest vs unbounded queueing.
+        with use_backend(bname):
+            overload = run_serve_overload(
+                overload_requests, overload_delay, overload_limit,
+                np.random.default_rng(8100),
+            )
+        for mode, report in overload.items():
+            rec = {
+                "workload": "serve_queue", "engine": f"overload_{mode}",
+                "batch": 1, "backend": bname, "requests": overload_requests,
+                "total_ms": report["elapsed"] * 1e3,
+                "completed": report["completed"],
+                "shed_rate": report["shed_rate"],
+                "latency_ms_p99": report["latency_ms_p99"],
+                "queue_limit": overload_limit if mode == "shed" else None,
+                "service_delay_ms": overload_delay * 1e3,
+            }
+            results.append(rec)
+            print(
+                f"{'serve_o':9s}{mode + '/' + bname:14s} reqs={overload_requests:<4d}"
+                f" p99={rec['latency_ms_p99']:7.1f} ms  shed={rec['shed_rate']:.2f}"
+            )
+        # Resilience counters: the healthy queued run's stats() plus the
+        # overload comparison, per backend — CI asserts these keys exist.
+        resilience[bname] = {
+            "requests_rejected": qstats["requests_rejected"],
+            "requests_expired": qstats["requests_expired"],
+            "requests_failed": qstats["requests_failed"],
+            "batches_retried": qstats["batches_retried"],
+            "worker_restarts": qstats["worker_restarts"],
+            "latency_ms_p99": qstats["latency_ms_p99"],
+            "overload": {
+                "queue_limit": overload_limit,
+                "service_delay_ms": overload_delay * 1e3,
+                "shed_rate": overload["shed"]["shed_rate"],
+                "completed_shed": overload["shed"]["completed"],
+                "completed_unbounded": overload["unbounded"]["completed"],
+                "p99_ms_shed": overload["shed"]["latency_ms_p99"],
+                "p99_ms_unbounded": overload["unbounded"]["latency_ms_p99"],
+            },
+        }
 
     # Headline speedups keep their historical keys and semantics (seed engine
     # vs. repro); the repro side is the fused backend when it was measured,
@@ -635,6 +751,14 @@ def main(argv=None) -> int:
             serving[f"serve_queue/{bname}/queued_vs_eager"] = (
                 queued_rps / rows["eager"]["throughput_rps"]
             )
+        if {"overload_unbounded", "overload_shed"} <= rows.keys():
+            # > 1.0 means load-shedding bounds the completed-request p99
+            # that unbounded queueing lets grow with the backlog.
+            shed_p99 = rows["overload_shed"]["latency_ms_p99"]
+            if shed_p99 > 0:
+                serving[f"serve_queue/{bname}/overload_p99_unbounded_vs_shed"] = (
+                    rows["overload_unbounded"]["latency_ms_p99"] / shed_p99
+                )
 
     # Module-vs-functional ratios are overhead measurements, not seed-engine
     # speedups, so they live under their own key: the ROADMAP's "beat the
@@ -651,7 +775,7 @@ def main(argv=None) -> int:
             overhead[f"nn_mlp/batch{batch}"] = times["functional"] / times["module"]
 
     report = {
-        "schema": "bench_autograd/v4",
+        "schema": "bench_autograd/v5",
         "meta": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -679,6 +803,7 @@ def main(argv=None) -> int:
         "inference": inference,
         "fusion": fusion_ratios,
         "serving": serving,
+        "resilience": resilience,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
@@ -695,6 +820,13 @@ def main(argv=None) -> int:
         print(f"  fusion {key}: {value:.2f}x (unfused/fused)")
     for key, value in sorted(serving.items()):
         print(f"  serving {key}: {value:.2f}x (queued throughput gain)")
+    for bname, section in sorted(resilience.items()):
+        over = section["overload"]
+        print(
+            f"  resilience {bname}: shed_rate={over['shed_rate']:.2f} "
+            f"p99 shed={over['p99_ms_shed']:.1f}ms vs "
+            f"unbounded={over['p99_ms_unbounded']:.1f}ms"
+        )
     return 0
 
 

@@ -160,6 +160,7 @@ class TBNet(nn.Module):
         max_wait: float = 0.002,
         fuse: bool = True,
         start: bool = True,
+        **resilience,
     ):
         """Build a dynamic-batching :class:`repro.serve.Server` over this model.
 
@@ -167,9 +168,15 @@ class TBNet(nn.Module):
         :class:`repro.serve.SessionPool` replica per worker, and returns the
         request-queue server (already started unless ``start=False``)::
 
-            with model.serve(workers=2) as server:
+            with model.serve(workers=2, queue_limit=256, overload="reject",
+                             default_timeout=0.5) as server:
                 logits = server(images, context)        # blocking
                 future = server.submit(images, context) # or async
+
+        Extra keyword arguments pass straight through to
+        :class:`repro.serve.Server` — the resilience knobs (``queue_limit``,
+        ``overload``, ``default_timeout``, ``retry``, ``supervise``,
+        ``supervision``, ``latency_window``) ride along unchanged.
 
         Parameters are bound by reference, so in-place fine-tuning shows up
         on every worker without recompiling.
@@ -189,6 +196,7 @@ class TBNet(nn.Module):
             max_batch_size=max_batch_size,
             max_wait=max_wait,
             fuse=fuse,
+            **resilience,
         )
         return server.start() if start else server
 

@@ -15,23 +15,54 @@ The serving stack toward the production north star, bottom-up:
   submit arrays and get futures, batching loops on sharded worker threads
   coalesce requests, run them through per-worker pool replicas, and scatter
   result copies back, with queue/latency/throughput metrics on
-  :meth:`Server.stats`.
+  :meth:`Server.stats`;
+- :mod:`repro.serve.resilience` makes the front end operable under failure:
+  bounded queues with ``block``/``reject``/``shed_oldest`` backpressure,
+  per-request deadlines (:class:`DeadlineExceeded`), transient-retry +
+  bisection batch-failure isolation (:class:`RetryPolicy`), and worker
+  supervision (watchdog respawn with backoff, :meth:`Server.health` /
+  :meth:`Server.ready` probes);
+- :mod:`repro.serve.faults` provides deterministic seeded chaos hooks
+  (:class:`FaultInjector` / :func:`inject_faults`) — raise-on-nth-call,
+  added latency, worker-kill, poisoned payloads — so every resilience
+  behavior is testable under injected failure.
 
 See :mod:`repro.serve.session` for the execution model and guarantees
 (bit-identical to the eager ``no_grad`` forward; dtype and shape are both
 part of the compiled signature; train-mode traces are rejected; parameters
 are bound by reference, batch-norm statistics are frozen at compile) and
-:mod:`repro.serve.frontend` for the batching and sharding semantics.
+:mod:`repro.serve.frontend` for the batching, sharding, and resilience
+semantics.
 """
 
+from repro.serve.faults import FaultInjector, PoisonedRequest, inject_faults
 from repro.serve.frontend import DEFAULT_BUCKETS, Server, SessionPool
+from repro.serve.resilience import (
+    BACKPRESSURE_MODES,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServerOverloaded,
+    SupervisionPolicy,
+    TransientError,
+    WorkerKill,
+)
 from repro.serve.session import InferenceSession, compile_inference, serve_batches
 
 __all__ = [
+    "BACKPRESSURE_MODES",
     "DEFAULT_BUCKETS",
+    "DeadlineExceeded",
+    "FaultInjector",
     "InferenceSession",
+    "PoisonedRequest",
+    "RetryPolicy",
     "Server",
+    "ServerOverloaded",
     "SessionPool",
+    "SupervisionPolicy",
+    "TransientError",
+    "WorkerKill",
     "compile_inference",
+    "inject_faults",
     "serve_batches",
 ]

@@ -1,0 +1,206 @@
+"""Deterministic fault injection for the serving front end.
+
+Every resilience behavior in :mod:`repro.serve.frontend` — batch-failure
+isolation, transient retries, worker respawn, deadline sweeps — exists to
+handle failures that healthy tests never produce.  This module manufactures
+those failures *deterministically*: a :class:`FaultInjector` wraps
+``SessionPool.serve`` on a live server (or a bare pool) with seeded chaos
+hooks, so a test can say "the 3rd serve call raises a transient fault, the
+5th kills its worker" and assert the exact recovery sequence every run.
+
+Hooks (all composable, all counted):
+
+- **raise-on-nth-call** (``raise_on={3, 7}``): the matching serve calls
+  raise ``fault`` (default :class:`~repro.serve.resilience.TransientError`,
+  i.e. retryable); call numbering is global across the injector, 1-based.
+- **worker-kill** (``kill_on={5}``): the matching calls raise
+  :class:`~repro.serve.resilience.WorkerKill`, which escapes the worker's
+  exception net and terminates the thread the way a hard crash would — the
+  supervision/respawn path, not the isolation path.
+- **added latency** (``latency=0.01``, ``latency_jitter=0.005``): every call
+  sleeps ``latency`` plus a seeded-uniform jitter draw before serving; use
+  it to cap service capacity (overload tests) or trip stuck detection.
+- **poisoned payloads** (``poison=lambda arrays: np.isnan(arrays[0]).any()``):
+  any batch the predicate flags raises :class:`PoisonedRequest` — a
+  *non-transient* fault, so the server bisects instead of retrying and only
+  the flagged request's future fails.
+
+Determinism: the only randomness is the jitter draw from one seeded
+``Generator``, and call numbering is serialized under the injector's lock —
+with a single worker the whole fault schedule is exactly reproducible.
+With multiple workers the *schedule* stays fixed (call N faults) while
+which worker draws call N depends on thread scheduling; tests that need a
+specific worker to die use ``workers=1``.
+
+Usage::
+
+    with inject_faults(server, raise_on={2}, seed=0) as chaos:
+        futures = [server.submit(x) for x in batch]
+        ...
+    assert chaos.calls >= 2 and chaos.raised == 1
+
+Installation wraps the ``serve`` attribute of every pool the server holds
+*at install time*; a replacement pool compiled later by the watchdog (stuck
+worker) starts clean.  ``uninstall()`` (automatic with the context manager)
+restores the original bound methods.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Callable, Iterable, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.serve.resilience import TransientError, WorkerKill
+
+__all__ = ["FaultInjector", "PoisonedRequest", "inject_faults"]
+
+
+class PoisonedRequest(RuntimeError):
+    """An injected *non-transient* fault: this payload fails every attempt.
+
+    Not a :class:`~repro.serve.resilience.TransientError`, so the retry
+    policy skips straight to bisection — exactly how a request whose
+    content deterministically breaks the model should behave.
+    """
+
+
+class FaultInjector:
+    """Seeded chaos hooks around ``SessionPool.serve``.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the jitter generator (the injector's only randomness).
+    raise_on:
+        1-based global serve-call numbers that raise ``fault``.
+    fault:
+        Exception class for ``raise_on`` calls (default
+        :class:`TransientError`, i.e. the retryable kind).
+    kill_on:
+        1-based call numbers that raise :class:`WorkerKill` instead of
+        serving (simulated hard worker crash).
+    latency / latency_jitter:
+        Fixed + seeded-uniform added service time per call, in seconds.
+    poison:
+        Optional predicate over the request's array list; a flagged batch
+        raises :class:`PoisonedRequest`.
+
+    Counters (thread-safe): :attr:`calls`, :attr:`raised`, :attr:`killed`,
+    :attr:`poisoned`, :attr:`delayed`.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        raise_on: Iterable[int] = (),
+        fault: Type[BaseException] = TransientError,
+        kill_on: Iterable[int] = (),
+        latency: float = 0.0,
+        latency_jitter: float = 0.0,
+        poison: Optional[Callable[[List[np.ndarray]], bool]] = None,
+    ) -> None:
+        if latency < 0 or latency_jitter < 0:
+            raise ValueError(
+                f"latency must be >= 0, got {latency} jitter={latency_jitter}"
+            )
+        self.raise_on = frozenset(int(n) for n in raise_on)
+        self.kill_on = frozenset(int(n) for n in kill_on)
+        bad = [n for n in self.raise_on | self.kill_on if n < 1]
+        if bad:
+            raise ValueError(f"call numbers are 1-based, got {sorted(bad)}")
+        self.fault = fault
+        self.latency = float(latency)
+        self.latency_jitter = float(latency_jitter)
+        self.poison = poison
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self._targets: List[Tuple[object, Callable]] = []
+        self.calls = 0
+        self.raised = 0
+        self.killed = 0
+        self.poisoned = 0
+        self.delayed = 0
+
+    # ------------------------------------------------------------------ #
+    # Installation
+    # ------------------------------------------------------------------ #
+    def wrap(self, pool) -> None:
+        """Shadow ``pool.serve`` with the chaos hook (instance attribute)."""
+        original = pool.serve
+
+        def chaotic_serve(batch, out=None):
+            return self._serve(original, batch, out)
+
+        pool.serve = chaotic_serve
+        self._targets.append((pool, original))
+
+    def install(self, server) -> "FaultInjector":
+        """Wrap every pool the server currently holds; returns self."""
+        pools = getattr(server, "pools", None)
+        if pools is None:  # a bare SessionPool
+            self.wrap(server)
+        else:
+            for pool in pools:
+                self.wrap(pool)
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the original ``serve`` methods."""
+        while self._targets:
+            pool, original = self._targets.pop()
+            pool.serve = original
+
+    # ------------------------------------------------------------------ #
+    # The hook
+    # ------------------------------------------------------------------ #
+    def _serve(self, original, batch, out):
+        with self._lock:
+            self.calls += 1
+            call = self.calls
+            delay = self.latency
+            if self.latency_jitter:
+                delay += float(self._rng.uniform(0.0, self.latency_jitter))
+        if delay > 0:
+            with self._lock:
+                self.delayed += 1
+            time.sleep(delay)
+        if call in self.kill_on:
+            with self._lock:
+                self.killed += 1
+            raise WorkerKill(f"fault injection killed the worker at serve call {call}")
+        if call in self.raise_on:
+            with self._lock:
+                self.raised += 1
+            raise self.fault(f"injected fault at serve call {call}")
+        if self.poison is not None:
+            arrays = batch if isinstance(batch, (list, tuple)) else [batch]
+            arrays = [a.data if hasattr(a, "data") else np.asarray(a) for a in arrays]
+            if self.poison(arrays):
+                with self._lock:
+                    self.poisoned += 1
+                raise PoisonedRequest(
+                    f"injected poison tripped at serve call {call} "
+                    f"(batch of {arrays[0].shape[0]})"
+                )
+        return original(batch, out=out)
+
+
+@contextlib.contextmanager
+def inject_faults(server, **kwargs):
+    """Context manager: install a :class:`FaultInjector` on ``server``.
+
+    ``server`` may be a :class:`~repro.serve.frontend.Server` or a bare
+    :class:`~repro.serve.frontend.SessionPool`.  Yields the injector (for
+    its counters); uninstalls on exit.
+    """
+    injector = FaultInjector(**kwargs)
+    injector.install(server)
+    try:
+        yield injector
+    finally:
+        injector.uninstall()

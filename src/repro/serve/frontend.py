@@ -1,8 +1,8 @@
 """Dynamic-batching serving front end: bucketed pools, a request queue,
-sharded workers.
+sharded + supervised workers.
 
 :class:`InferenceSession` replays exactly one batch shape; this module turns
-that into a front end that serves *any* traffic shape:
+that into a front end that serves *any* traffic shape and survives failure:
 
 - :class:`SessionPool` compiles one session per **bucket size** (default
   1/4/16/64) in a single up-front pass over the model and routes any
@@ -24,9 +24,40 @@ that into a front end that serves *any* traffic shape:
   only per-session pre-allocated buffers while parameters stay bound by
   reference to the one shared model (an in-place fine-tune step shows up
   on every worker without recompiling).
+- **Backpressure**: ``queue_limit`` bounds the queue; the ``overload``
+  policy decides what happens at the limit — ``"block"`` the submitter,
+  ``"reject"`` with :class:`~repro.serve.resilience.ServerOverloaded`, or
+  ``"shed_oldest"`` (cancel the stalest queued future to admit the new
+  request).
+- **Deadlines**: ``submit(..., timeout=)`` (or a server-wide
+  ``default_timeout``) attaches a deadline; expired requests are swept
+  before dispatch — by the collecting worker and by the watchdog — and
+  resolve with :class:`~repro.serve.resilience.DeadlineExceeded`.  Client
+  ``future.cancel()`` composes: cancelled futures are dropped at dispatch.
+- **Failure isolation**: when a coalesced batch raises, transient faults
+  (per :class:`~repro.serve.resilience.RetryPolicy`) are retried whole
+  with exponential backoff; anything still failing is bisected and the
+  halves re-served, so only the truly poisoned request(s) fail while
+  innocent co-batched requests succeed.  Exceptions anywhere in the serve
+  path — concatenate, scatter, metrics — fail the affected futures, never
+  the worker thread.
+- **Supervision**: a watchdog thread detects dead worker threads and
+  respawns them (crash counters, exponential restart backoff, a crash-loop
+  cap that retires the slot), optionally detects *stuck* workers
+  (``stuck_timeout``) and replaces them with freshly compiled pools, and
+  backs the :meth:`Server.health` / :meth:`Server.ready` probes.  When
+  every worker is dead the queue is failed with a clear error instead of
+  stranding clients.  :meth:`Server.stop` takes a ``timeout`` and cannot
+  hang forever: leftover queued requests are resolved exceptionally.
 - **Metrics**: :meth:`Server.stats` reports queue depth, batch occupancy,
-  p50/p95 request latency and served throughput; the ``serve_queue``
-  benchmark workload records them per backend.
+  p50/p95/p99 request latency, served throughput, and the resilience
+  counters (``requests_rejected`` / ``requests_shed`` /
+  ``requests_expired`` / ``requests_failed`` / ``batches_retried`` /
+  ``worker_restarts``); the ``serve_queue`` benchmark workload records
+  them per backend.
+
+Deterministic chaos hooks for all of the above live in
+:mod:`repro.serve.faults`.
 
 Numerics contract: every routed micro-batch is **bit-equal to the eager
 ``no_grad`` forward of exactly those samples** (the per-session guarantee).
@@ -35,7 +66,9 @@ last ulp, because BLAS kernels reassociate differently across batch sizes —
 the same caveat any dynamic batcher inherits.  Chunk boundaries only
 *matter* for traces whose samples interact through batch statistics
 (:attr:`SessionPool.has_batch_statistics`); route such models with a single
-bucket or keep them on the eager path.
+bucket or keep them on the eager path.  Batch bisection preserves request
+boundaries, so isolation never changes which samples share a micro-batch
+run's bucket decomposition *within* a request.
 
 Dtype is part of the compiled signature: requests must match the example
 batch's dtypes exactly (see :meth:`InferenceSession.run`).
@@ -53,6 +86,15 @@ from concurrent.futures import Future
 import numpy as np
 
 from repro.nn.module import Module
+from repro.serve.resilience import (
+    BACKPRESSURE_MODES,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServerOverloaded,
+    SupervisionPolicy,
+    WorkerKill,
+    WorkerSlot,
+)
 from repro.serve.session import (
     InferenceSession,
     _as_input_tensors,
@@ -265,17 +307,24 @@ class SessionPool:
 
 
 class _Request:
-    __slots__ = ("arrays", "n", "future", "submitted_at")
+    __slots__ = ("arrays", "n", "future", "submitted_at", "deadline", "started")
 
-    def __init__(self, arrays, n, future, submitted_at):
+    def __init__(self, arrays, n, future, submitted_at, deadline=None):
         self.arrays = arrays
         self.n = n
         self.future = future
         self.submitted_at = submitted_at
+        #: monotonic time after which the request must not be served.
+        self.deadline = deadline
+        #: True once the future was moved to RUNNING — a re-queued request
+        #: (its worker was killed mid-serve) must not call
+        #: ``set_running_or_notify_cancel`` a second time.
+        self.started = False
 
 
 class Server:
-    """A dynamic-batching request queue over sharded :class:`SessionPool`\\ s.
+    """A resilient dynamic-batching request queue over sharded
+    :class:`SessionPool`\\ s.
 
     Clients call :meth:`submit` with one request's arrays (leading sample
     dimension, any size) and get a :class:`concurrent.futures.Future`
@@ -283,17 +332,45 @@ class Server:
     batching threads each drain the shared queue: a worker takes the oldest
     pending request, keeps coalescing whole requests until
     ``max_batch_size`` samples are in hand or ``max_wait`` seconds have
-    passed, runs the coalesced batch through its private pool replica, and
-    scatters the results back.
+    passed, runs the coalesced batch through its private pool replica
+    (isolating failures per request), and scatters the results back.
 
     Use as a context manager, or call :meth:`start`/:meth:`stop`
     explicitly::
 
-        with Server(model, example, workers=2) as server:
+        with Server(model, example, workers=2, queue_limit=256,
+                    overload="reject", default_timeout=0.5) as server:
             futures = [server.submit(x) for x in requests]
             results = [f.result() for f in futures]
 
     A server is single-use: once stopped it cannot be restarted.
+
+    Resilience parameters
+    ---------------------
+    queue_limit:
+        Maximum queued requests; ``None`` (default) keeps the historical
+        unbounded queue.
+    overload:
+        What a full queue does to ``submit()``: ``"block"`` (wait for
+        space — honoring the request's deadline), ``"reject"`` (raise
+        :class:`ServerOverloaded`), or ``"shed_oldest"`` (cancel the
+        stalest queued future and admit the new request).
+    default_timeout:
+        Server-wide deadline (seconds from submit) applied to requests
+        submitted without an explicit ``timeout``; ``None`` disables.
+    retry:
+        :class:`~repro.serve.resilience.RetryPolicy` for transient batch
+        failures (default: 2 retries, 5 ms exponential backoff, capped).
+    supervise:
+        Run the watchdog thread (default).  Without it, worker crashes are
+        still isolated per batch but dead threads stay dead.
+    supervision:
+        :class:`~repro.serve.resilience.SupervisionPolicy` tuning the
+        watchdog (sweep interval, stuck timeout, restart backoff/cap).
+        Note: replacing a *stuck* worker compiles a fresh pool on the
+        watchdog thread; trace capture is process-global, so models whose
+        pools lack a size-1 bucket (eager-tail serving) should not rely on
+        stuck replacement while traffic is in flight.
     """
 
     def __init__(
@@ -307,34 +384,69 @@ class Server:
         max_wait: float = 0.002,
         fuse: bool = True,
         latency_window: int = 4096,
+        queue_limit: Optional[int] = None,
+        overload: str = "block",
+        default_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        supervise: bool = True,
+        supervision: Optional[SupervisionPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_wait < 0:
             raise ValueError(f"max_wait must be >= 0, got {max_wait}")
-        self._pools = [
-            SessionPool(model, example_batch, buckets, fuse=fuse)
-            for _ in range(workers)
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if overload not in BACKPRESSURE_MODES:
+            raise ValueError(
+                f"overload must be one of {BACKPRESSURE_MODES}, got {overload!r}"
+            )
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError(
+                f"default_timeout must be > 0, got {default_timeout}"
+            )
+        self._pool_factory = lambda: SessionPool(
+            model, example_batch, buckets, fuse=fuse
+        )
+        self._slots = [
+            WorkerSlot(i, self._pool_factory()) for i in range(workers)
         ]
+        self._all_pools: List[SessionPool] = [s.pool for s in self._slots]
         self._max_batch = (
             int(max_batch_size) if max_batch_size is not None
-            else self._pools[0].max_bucket
+            else self._slots[0].pool.max_bucket
         )
         if self._max_batch < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         self._max_wait = float(max_wait)
+        self._queue_limit = queue_limit
+        self._overload = overload
+        self._default_timeout = default_timeout
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._supervise = bool(supervise)
+        self._supervision = (
+            supervision if supervision is not None else SupervisionPolicy()
+        )
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._queue: deque = deque()
-        self._threads: List[threading.Thread] = []
+        self._watchdog: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
         self._started = False
         self._stopping = False
+        self._failed: Optional[str] = None  # terminal failure reason
         # Metrics (guarded by self._lock).
         self._submitted_requests = 0
         self._completed_requests = 0
         self._completed_samples = 0
         self._dispatches = 0
         self._dispatched_samples = 0
+        self._requests_rejected = 0
+        self._requests_shed = 0
+        self._requests_expired = 0
+        self._requests_failed = 0
+        self._batches_retried = 0
+        self._worker_restarts = 0
         self._latencies: deque = deque(maxlen=latency_window)
         self._first_dispatch_at: Optional[float] = None
         self._last_completion_at: Optional[float] = None
@@ -344,11 +456,29 @@ class Server:
     # ------------------------------------------------------------------ #
     @property
     def workers(self) -> int:
-        return len(self._pools)
+        """Configured worker count (live count is in :meth:`health`)."""
+        return sum(1 for slot in self._slots if not slot.stuck)
 
     @property
     def max_batch_size(self) -> int:
         return self._max_batch
+
+    @property
+    def pools(self) -> List[SessionPool]:
+        """Every pool ever attached to a worker slot (fault-injection and
+        stats surface; replacement pools of stuck workers are appended)."""
+        return list(self._all_pools)
+
+    def _spawn(self, slot: WorkerSlot) -> None:
+        suffix = f"-r{slot.restarts}" if slot.restarts else ""
+        slot.busy_since = None
+        slot.thread = threading.Thread(
+            target=self._worker,
+            args=(slot,),
+            name=f"repro-serve-worker-{slot.index}{suffix}",
+            daemon=True,
+        )
+        slot.thread.start()
 
     def start(self) -> "Server":
         with self._lock:
@@ -357,37 +487,60 @@ class Server:
             if self._started:
                 return self
             self._started = True
-            self._threads = [
-                threading.Thread(
-                    target=self._worker,
-                    args=(pool,),
-                    name=f"repro-serve-worker-{i}",
-                    daemon=True,
-                )
-                for i, pool in enumerate(self._pools)
-            ]
-        for thread in self._threads:
-            thread.start()
+        for slot in self._slots:
+            self._spawn(slot)
+        if self._supervise:
+            self._watchdog = threading.Thread(
+                target=self._watch, name="repro-serve-watchdog", daemon=True
+            )
+            self._watchdog.start()
         return self
 
-    def stop(self, drain: bool = True) -> None:
-        """Stop the workers.
+    def stop(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Stop the workers; never hangs past ``timeout``.
 
-        With ``drain=True`` (default) every already-submitted request is
-        served before the workers exit; with ``drain=False`` pending
-        futures are cancelled.
+        With ``drain=True`` (default) already-submitted requests are served
+        before the workers exit; with ``drain=False`` pending futures are
+        cancelled.  Whatever is still queued when the workers are gone —
+        because they all died, or because ``timeout`` seconds passed — is
+        resolved exceptionally with a clear error instead of stranding the
+        clients, and blocked ``submit()`` callers are woken.
         """
         with self._cond:
-            if not self._started or self._stopping:
-                self._stopping = True
-                return
+            already = not self._started or self._stopping
             self._stopping = True
-            if not drain:
+            if not already and not drain:
                 while self._queue:
                     self._queue.popleft().future.cancel()
             self._cond.notify_all()
-        for thread in self._threads:
-            thread.join()
+        self._stop_event.set()
+        if already:
+            return
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=max(1.0, self._supervision.watchdog_interval * 10))
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        for slot in self._slots:
+            thread = slot.thread
+            if thread is None:
+                continue
+            if deadline is None:
+                thread.join()
+            else:
+                thread.join(max(0.0, deadline - time.monotonic()))
+        # Anything still queued has no worker left to serve it (all dead,
+        # or stuck past the stop timeout): fail it loudly.
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        if leftovers:
+            exc = RuntimeError(
+                f"Server stopped with {len(leftovers)} unserved request(s): "
+                "no live worker drained the queue (workers dead, or the "
+                f"stop timeout of {timeout}s expired)"
+            )
+            for request in leftovers:
+                self._resolve_exceptionally(request, exc)
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -396,17 +549,58 @@ class Server:
         self.stop(drain=exc_type is None)
 
     # ------------------------------------------------------------------ #
+    # Probes
+    # ------------------------------------------------------------------ #
+    def ready(self) -> bool:
+        """True when the server can accept and serve a request right now."""
+        with self._lock:
+            if not self._started or self._stopping or self._failed:
+                return False
+        return any(slot.is_alive() for slot in self._slots)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness/supervision snapshot (cheap; safe to poll)."""
+        alive = sum(1 for slot in self._slots if slot.is_alive())
+        with self._lock:
+            return {
+                "ready": bool(
+                    self._started and not self._stopping and not self._failed
+                    and alive > 0
+                ),
+                "started": self._started,
+                "stopping": self._stopping,
+                "failed": self._failed,
+                "workers_configured": len(self._slots),
+                "workers_alive": alive,
+                "workers_stuck": sum(1 for s in self._slots if s.stuck),
+                "workers_retired": sum(1 for s in self._slots if s.retired),
+                "worker_crashes": sum(s.crashes for s in self._slots),
+                "worker_restarts": self._worker_restarts,
+                "queue_depth": len(self._queue),
+            }
+
+    # ------------------------------------------------------------------ #
     # Client surface
     # ------------------------------------------------------------------ #
-    def submit(self, *batch) -> Future:
+    def submit(self, *batch, timeout: Optional[float] = None) -> Future:
         """Enqueue one request; returns a future of its ``(n, ...)`` outputs.
 
         Shapes and dtypes are validated here, synchronously, so malformed
         requests raise at the call site instead of poisoning a future.  The
         arrays are read at dispatch time — do not mutate them before the
         future resolves.  The resolved array is an owned copy.
+
+        ``timeout`` (seconds, overriding the server ``default_timeout``)
+        attaches a deadline: a request still queued when it expires resolves
+        with :class:`DeadlineExceeded` instead of being served.  In
+        ``block`` overload mode the deadline also bounds the wait for queue
+        space (raising :class:`DeadlineExceeded` synchronously).
         """
-        pool = self._pools[0]
+        if timeout is None:
+            timeout = self._default_timeout
+        elif timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        pool = self._slots[0].pool
         arrays = _coerce_arrays(batch)
         n = pool.validate(arrays)
         future: Future = Future()
@@ -415,21 +609,60 @@ class Server:
                 np.empty((0,) + pool._out_per_sample, dtype=pool.output_dtype)
             )
             return future
-        request = _Request(arrays, n, future, time.monotonic())
+        now = time.monotonic()
+        deadline = now + timeout if timeout is not None else None
+        request = _Request(arrays, n, future, now, deadline)
         with self._cond:
-            if not self._started or self._stopping:
-                raise RuntimeError(
-                    "Server is not running (start() it, or use it as a "
-                    "context manager)"
-                )
+            self._check_accepting_locked()
+            if self._queue_limit is not None:
+                self._admit_locked(request, deadline)
             self._queue.append(request)
             self._submitted_requests += 1
-            self._cond.notify()
+            self._cond.notify_all()
         return future
 
-    def __call__(self, *batch) -> np.ndarray:
+    def _check_accepting_locked(self) -> None:
+        if self._failed:
+            raise RuntimeError(f"Server failed: {self._failed}")
+        if not self._started or self._stopping:
+            raise RuntimeError(
+                "Server is not running (start() it, or use it as a "
+                "context manager)"
+            )
+
+    def _admit_locked(self, request: _Request, deadline: Optional[float]) -> None:
+        """Enforce ``queue_limit`` per the overload policy (cond held)."""
+        if self._overload == "reject":
+            if len(self._queue) >= self._queue_limit:
+                self._requests_rejected += 1
+                raise ServerOverloaded(
+                    f"queue is full ({self._queue_limit} requests); "
+                    "retry later or raise queue_limit"
+                )
+        elif self._overload == "shed_oldest":
+            while len(self._queue) >= self._queue_limit:
+                stale = self._queue.popleft()
+                if stale.future.cancel():
+                    self._requests_shed += 1
+                # Already cancelled/running futures just drop off the queue.
+        else:  # block
+            while len(self._queue) >= self._queue_limit:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._requests_expired += 1
+                        raise DeadlineExceeded(
+                            "request timed out waiting for queue space "
+                            f"(queue_limit={self._queue_limit})"
+                        )
+                    self._cond.wait(timeout=remaining)
+                else:
+                    self._cond.wait()
+                self._check_accepting_locked()
+
+    def __call__(self, *batch, timeout: Optional[float] = None) -> np.ndarray:
         """Blocking convenience: submit one request and wait for its result."""
-        return self.submit(*batch).result()
+        return self.submit(*batch, timeout=timeout).result()
 
     def stats(self) -> Dict[str, float]:
         """A snapshot of the serving metrics.
@@ -438,13 +671,20 @@ class Server:
         - ``batch_occupancy``: mean coalesced samples per dispatch divided
           by ``max_batch_size`` (1.0 = every dispatch full; an oversized
           single request counts as one full dispatch);
-        - ``latency_ms_p50`` / ``latency_ms_p95``: submit-to-result request
-          latency percentiles over the recent window;
+        - ``latency_ms_p50`` / ``latency_ms_p95`` / ``latency_ms_p99``:
+          submit-to-result request latency percentiles over the recent
+          window;
         - ``throughput_rps``: completed samples per second between the
           first dispatch and the latest completion;
-        - plus raw counters (requests/samples/batches) and the pools'
-          bucket routing counts.
+        - resilience counters: ``requests_rejected`` (reject-mode refusals),
+          ``requests_shed`` (shed_oldest cancellations), ``requests_expired``
+          (deadline sweeps), ``requests_failed`` (futures resolved with the
+          batch's exception), ``batches_retried`` (re-serve attempts from
+          transient retries and bisection), ``worker_restarts``;
+        - plus raw counters (requests/samples/batches), ``workers_alive``,
+          and the pools' bucket routing counts.
         """
+        alive = sum(1 for slot in self._slots if slot.is_alive())
         with self._lock:
             latencies = np.asarray(self._latencies, dtype=np.float64)
             depth = len(self._queue)
@@ -469,27 +709,59 @@ class Server:
                 "batches_dispatched": float(dispatches),
                 "batch_occupancy": float(occupancy),
                 "throughput_rps": float(throughput),
+                "requests_rejected": float(self._requests_rejected),
+                "requests_shed": float(self._requests_shed),
+                "requests_expired": float(self._requests_expired),
+                "requests_failed": float(self._requests_failed),
+                "batches_retried": float(self._batches_retried),
+                "worker_restarts": float(self._worker_restarts),
+                "workers_alive": float(alive),
             }
-        snapshot["latency_ms_p50"] = (
-            float(np.percentile(latencies, 50) * 1e3) if latencies.size else 0.0
-        )
-        snapshot["latency_ms_p95"] = (
-            float(np.percentile(latencies, 95) * 1e3) if latencies.size else 0.0
-        )
+        for pct in (50, 95, 99):
+            snapshot[f"latency_ms_p{pct}"] = (
+                float(np.percentile(latencies, pct) * 1e3)
+                if latencies.size
+                else 0.0
+            )
         bucket_calls: Dict[int, int] = {}
-        for pool in self._pools:
+        for pool in self._all_pools:
             for bucket, count in pool.bucket_calls.items():
                 bucket_calls[bucket] = bucket_calls.get(bucket, 0) + count
         snapshot["bucket_calls"] = bucket_calls  # type: ignore[assignment]
         snapshot["eager_tail_serves"] = float(
-            sum(pool.eager_calls for pool in self._pools)
+            sum(pool.eager_calls for pool in self._all_pools)
         )
         return snapshot
 
     # ------------------------------------------------------------------ #
     # Batching loop
     # ------------------------------------------------------------------ #
-    def _collect(self) -> Optional[List[_Request]]:
+    def _expire_locked(self, request: _Request, now: float) -> bool:
+        """Resolve ``request`` with DeadlineExceeded if it expired (cond
+        held); returns True when the request was consumed."""
+        if request.deadline is None or now < request.deadline:
+            return False
+        self._requests_expired += 1
+        if request.started or request.future.set_running_or_notify_cancel():
+            if not request.future.done():
+                request.future.set_exception(
+                    DeadlineExceeded(
+                        "request expired after "
+                        f"{now - request.submitted_at:.3f}s in queue "
+                        "(swept before dispatch)"
+                    )
+                )
+        return True
+
+    def _resolve_exceptionally(self, request: _Request, exc: BaseException) -> None:
+        """Fail a request's future if it can still be failed."""
+        if request.future.done():
+            return
+        if request.started or request.future.set_running_or_notify_cancel():
+            if not request.future.done():
+                request.future.set_exception(exc)
+
+    def _collect(self, slot: WorkerSlot) -> Optional[List[_Request]]:
         """Take one coalesced batch off the queue (None = shut down).
 
         Blocks until a request arrives, then keeps absorbing whole pending
@@ -499,31 +771,46 @@ class Server:
         larger than ``max_batch_size`` is dispatched alone (the pool
         decomposes it internally).
 
-        Every collected future is moved to RUNNING here
-        (``set_running_or_notify_cancel``): futures a client already
-        cancelled are dropped, and a cancel arriving after collection
-        becomes a no-op instead of an ``InvalidStateError`` when the
-        worker scatters results.
+        Expired requests are swept here (resolved with
+        :class:`DeadlineExceeded`, never served) and every collected future
+        is moved to RUNNING (``set_running_or_notify_cancel``): futures a
+        client already cancelled are dropped, and a cancel arriving after
+        collection becomes a no-op instead of an ``InvalidStateError`` when
+        the worker scatters results.  Each pop notifies the condition so
+        ``block``-mode submitters waiting for queue space wake up.
         """
         with self._cond:
             while True:
-                while not self._queue and not self._stopping:
+                while not self._queue and not self._stopping and not slot.retired:
                     self._cond.wait()
-                if not self._queue:
-                    return None  # stopping, queue drained
+                if slot.retired or not self._queue:
+                    return None  # retired, or stopping with a drained queue
+                now = time.monotonic()
                 first = self._queue.popleft()
-                if first.future.set_running_or_notify_cancel():
+                self._cond.notify_all()
+                if self._expire_locked(first, now):
+                    continue
+                if first.started or first.future.set_running_or_notify_cancel():
+                    first.started = True
                     break  # not cancelled; serve it
             requests = [first]
             total = first.n
             deadline = time.monotonic() + self._max_wait
             while total < self._max_batch:
                 if self._queue:
+                    now = time.monotonic()
+                    if self._expire_locked(self._queue[0], now):
+                        self._queue.popleft()
+                        self._cond.notify_all()
+                        continue
                     if total + self._queue[0].n > self._max_batch:
                         break
                     request = self._queue.popleft()
-                    if not request.future.set_running_or_notify_cancel():
+                    self._cond.notify_all()
+                    if not (request.started
+                            or request.future.set_running_or_notify_cancel()):
                         continue  # cancelled while queued: drop it
+                    request.started = True
                     requests.append(request)
                     total += request.n
                 else:
@@ -535,42 +822,199 @@ class Server:
                 self._first_dispatch_at = time.monotonic()
             return requests
 
-    def _worker(self, pool: SessionPool) -> None:
+    def _requeue(self, requests: List[_Request]) -> None:
+        """Put a killed worker's unresolved requests back at the queue head."""
+        pending = [r for r in requests if not r.future.done()]
+        if not pending:
+            return
+        with self._cond:
+            self._queue.extendleft(reversed(pending))
+            self._cond.notify_all()
+
+    def _worker(self, slot: WorkerSlot) -> None:
         while True:
-            requests = self._collect()
+            requests = self._collect(slot)
             if requests is None:
                 return
             total = sum(r.n for r in requests)
-            if len(requests) == 1:
-                arrays = requests[0].arrays
-            else:
-                arrays = [
-                    np.concatenate([r.arrays[i] for r in requests])
-                    for i in range(len(requests[0].arrays))
-                ]
-            try:
-                out = pool.serve(arrays)
-            except BaseException as exc:  # scatter the failure, keep serving
-                for request in requests:
-                    request.future.set_exception(exc)
-                continue
-            done_at = time.monotonic()
-            if len(requests) == 1:
-                # `out` is a fresh per-call array no one else holds; hand it
-                # over without the defensive copy.
-                requests[0].future.set_result(out)
-            else:
-                start = 0
-                for request in requests:
-                    request.future.set_result(out[start : start + request.n].copy())
-                    start += request.n
             with self._lock:
                 self._dispatches += 1
                 # Clamped so occupancy stays a fraction <= 1.0: an oversized
                 # single request (never split) counts as one full dispatch.
                 self._dispatched_samples += min(total, self._max_batch)
-                self._completed_requests += len(requests)
-                self._completed_samples += total
-                self._last_completion_at = done_at
+            slot.busy_since = time.monotonic()
+            try:
+                self._serve_group(slot.pool, requests, first=True)
+            except WorkerKill:
+                # Simulated hard crash: give the requests back to the queue
+                # and die; the watchdog counts the crash and respawns this
+                # slot after its restart backoff.
+                self._requeue(requests)
+                return
+            except Exception as exc:
+                # Widened safety net (concatenate, scatter, metrics): fail
+                # the affected futures, never the worker thread.
+                failed = 0
                 for request in requests:
-                    self._latencies.append(done_at - request.submitted_at)
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                        failed += 1
+                with self._lock:
+                    self._requests_failed += failed
+            finally:
+                slot.busy_since = None
+            if slot.retired:
+                return
+
+    def _serve_group(self, pool: SessionPool, requests: List[_Request],
+                     *, first: bool) -> None:
+        """Serve one group of requests with retry/backoff and bisection.
+
+        Transient failures (per the retry policy) re-serve the whole group
+        with exponential backoff; a group that still fails is split in two
+        and each half re-served, recursing until single requests — so one
+        poisoned request fails alone while its co-batched neighbours
+        succeed.  Every future is resolved exactly once.
+        """
+        if len(requests) == 1:
+            arrays = requests[0].arrays
+        else:
+            arrays = [
+                np.concatenate([r.arrays[i] for r in requests])
+                for i in range(len(requests[0].arrays))
+            ]
+        attempt = 0
+        while True:
+            if not (first and attempt == 0):
+                with self._lock:
+                    self._batches_retried += 1
+            try:
+                out = pool.serve(arrays)
+                break
+            except WorkerKill:
+                raise
+            except Exception as exc:
+                if self._retry.is_transient(exc) and attempt < self._retry.max_retries:
+                    time.sleep(self._retry.delay(attempt))
+                    attempt += 1
+                    continue
+                if len(requests) == 1:
+                    request = requests[0]
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                    with self._lock:
+                        self._requests_failed += 1
+                    return
+                mid = len(requests) // 2
+                self._serve_group(pool, requests[:mid], first=False)
+                self._serve_group(pool, requests[mid:], first=False)
+                return
+        done_at = time.monotonic()
+        if len(requests) == 1:
+            # `out` is a fresh per-call array no one else holds; hand it
+            # over without the defensive copy.
+            if not requests[0].future.done():
+                requests[0].future.set_result(out)
+        else:
+            start = 0
+            for request in requests:
+                if not request.future.done():
+                    request.future.set_result(
+                        out[start : start + request.n].copy()
+                    )
+                start += request.n
+        with self._lock:
+            self._completed_requests += len(requests)
+            self._completed_samples += sum(r.n for r in requests)
+            self._last_completion_at = done_at
+            for request in requests:
+                self._latencies.append(done_at - request.submitted_at)
+
+    # ------------------------------------------------------------------ #
+    # Supervision
+    # ------------------------------------------------------------------ #
+    def _watch(self) -> None:
+        """Watchdog loop: sweep deadlines, respawn dead workers, replace
+        stuck ones, and fail the queue when nobody is left to serve it."""
+        policy = self._supervision
+        while not self._stop_event.wait(policy.watchdog_interval):
+            with self._cond:
+                if self._stopping:
+                    return
+                now = time.monotonic()
+                if self._queue:
+                    kept = deque(
+                        r for r in self._queue if not self._expire_locked(r, now)
+                    )
+                    if len(kept) != len(self._queue):
+                        self._queue = kept
+                        self._cond.notify_all()
+                slots = list(self._slots)
+            for slot in slots:
+                if slot.retired or slot.thread is None:
+                    continue
+                if not slot.thread.is_alive():
+                    self._handle_dead(slot, now)
+                elif (
+                    policy.stuck_timeout is not None
+                    and slot.busy_since is not None
+                    and now - slot.busy_since > policy.stuck_timeout
+                ):
+                    self._handle_stuck(slot)
+            self._check_all_dead()
+
+    def _handle_dead(self, slot: WorkerSlot, now: float) -> None:
+        """Count a crash, schedule/execute the backed-off respawn."""
+        if slot.respawn_at is None:
+            slot.crashes += 1
+            if slot.restarts >= self._supervision.max_restarts:
+                slot.retired = True  # crash loop: give up on this slot
+                return
+            slot.respawn_at = now + self._supervision.restart_delay(slot.crashes)
+        if now >= slot.respawn_at:
+            slot.respawn_at = None
+            slot.restarts += 1
+            with self._lock:
+                self._worker_restarts += 1
+            self._spawn(slot)
+
+    def _handle_stuck(self, slot: WorkerSlot) -> None:
+        """Abandon a stuck worker and spawn a replacement slot.
+
+        The stuck thread cannot be killed; its slot is retired so it exits
+        after the batch it is wedged on (if that ever finishes, the futures
+        it holds still resolve — each future resolves exactly once).  The
+        replacement gets a freshly compiled pool because the stuck thread
+        still owns the old one's buffers.
+        """
+        slot.stuck = True
+        slot.retired = True
+        replacement = WorkerSlot(len(self._slots), self._pool_factory())
+        self._slots.append(replacement)
+        self._all_pools.append(replacement.pool)
+        with self._lock:
+            self._worker_restarts += 1
+        self._spawn(replacement)
+        with self._cond:
+            self._cond.notify_all()  # let the stuck thread see retirement
+
+    def _check_all_dead(self) -> None:
+        """With no live or respawnable worker left, fail the queue loudly."""
+        if any(
+            slot.is_alive() or (not slot.retired and slot.respawn_at is not None)
+            for slot in self._slots
+        ):
+            return
+        with self._cond:
+            if self._stopping or self._failed:
+                return
+            self._failed = (
+                "all workers are dead (crash-loop retirement); "
+                "the server cannot serve"
+            )
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        exc = RuntimeError(f"Server failed: {self._failed}")
+        for request in leftovers:
+            self._resolve_exceptionally(request, exc)

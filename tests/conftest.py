@@ -1,0 +1,43 @@
+"""Shared test configuration: a per-test hang watchdog.
+
+The serving suite exercises queues, worker threads, and shutdown races; a
+regression there can deadlock instead of failing.  CI installs
+``pytest-timeout`` and every run passes ``--timeout`` (see ci.yml), but the
+tier-1 command must also be hang-proof on bare environments where
+``pytest-timeout`` is not installed — so this conftest arms a
+``faulthandler``-based watchdog per test: if a single test exceeds
+``REPRO_TEST_TIMEOUT`` seconds (default 300), every thread's traceback is
+dumped and the process exits non-zero, failing the run in minutes instead
+of hanging it for hours.
+
+When ``pytest-timeout`` is importable it owns the job (richer reporting,
+per-test markers) and the fallback stays disarmed.
+"""
+
+import faulthandler
+import os
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+if not _HAVE_PYTEST_TIMEOUT and _TIMEOUT > 0:
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item, nextitem):
+        # exit=True: a wedged test cannot be un-wedged from a signal-safe
+        # handler, so dump every thread's stack and kill the process —
+        # the CI job (and the tier-1 gate) then fails fast and loud.
+        faulthandler.dump_traceback_later(_TIMEOUT, exit=True)
+        try:
+            yield
+        finally:
+            faulthandler.cancel_dump_traceback_later()
