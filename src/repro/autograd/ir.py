@@ -52,6 +52,7 @@ __all__ = [
     "capture",
     "current_capture",
     "toposort",
+    "op_counts",
     "register_forward",
     "has_forward",
     "run_forward",
@@ -198,6 +199,18 @@ def toposort(root: GraphNode, backward_only: bool = True) -> List[GraphNode]:
                 continue
             stack.append((pn, False))
     return topo
+
+
+def op_counts(nodes: List[GraphNode]) -> Dict[str, int]:
+    """Histogram of a node list's ops: ``{op: count}``.
+
+    The shared trace-introspection helper behind
+    ``InferenceSession.op_counts`` and profiler summaries.
+    """
+    counts: Dict[str, int] = {}
+    for node in nodes:
+        counts[node.op] = counts.get(node.op, 0) + 1
+    return counts
 
 
 # --------------------------------------------------------------------------- #

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import contextlib
 import numbers
+import time
 from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -146,6 +147,20 @@ def _get_fusion():
 
         _fusion_module = fusion
     return _fusion_module
+
+
+_profile_module = None
+
+
+def _get_profile():
+    """Lazy import of :mod:`repro.obs.profile` (keeps the autograd core free
+    of an eager dependency on the observability package)."""
+    global _profile_module
+    if _profile_module is None:
+        from repro.obs import profile
+
+        _profile_module = profile
+    return _profile_module
 
 
 def _unwrap_index(index):
@@ -864,10 +879,22 @@ class Tensor:
                 out.grad = None
         self.grad = seed
 
-        for node in reversed(topo):
-            backward_fn = node.backward
-            if backward_fn is not None:
-                backward_fn()
+        profiler = _get_profile().active_profiler()
+        if profiler is None:
+            for node in reversed(topo):
+                backward_fn = node.backward
+                if backward_fn is not None:
+                    backward_fn()
+        else:
+            # Timing-only instrumentation: the same thunks run in the same
+            # order, so gradients stay bit-identical with profiling on.
+            perf = time.perf_counter
+            for node in reversed(topo):
+                backward_fn = node.backward
+                if backward_fn is not None:
+                    start = perf()
+                    backward_fn()
+                    profiler.record("backward:" + node.op, perf() - start)
 
         if retain_graph:
             self._topo = topo

@@ -160,6 +160,8 @@ class TBNet(nn.Module):
         max_wait: float = 0.002,
         fuse: bool = True,
         start: bool = True,
+        http_port: Optional[int] = None,
+        http_host: str = "127.0.0.1",
         **resilience,
     ):
         """Build a dynamic-batching :class:`repro.serve.Server` over this model.
@@ -176,7 +178,14 @@ class TBNet(nn.Module):
         Extra keyword arguments pass straight through to
         :class:`repro.serve.Server` — the resilience knobs (``queue_limit``,
         ``overload``, ``default_timeout``, ``retry``, ``supervise``,
-        ``supervision``, ``latency_window``) ride along unchanged.
+        ``supervision``, ``latency_window``) and the observability knobs
+        (``registry``, ``trace``, ``trace_capacity``) ride along unchanged.
+
+        ``http_port`` (with ``http_host``) additionally starts the
+        observability HTTP edge — ``/metrics``, ``/health``, ``/ready``,
+        ``/traces.json`` — on the started server (``0`` picks a free port;
+        read it back from ``server.serve_http().port``).  Requires
+        ``start=True``.
 
         Parameters are bound by reference, so in-place fine-tuning shows up
         on every worker without recompiling.
@@ -198,7 +207,14 @@ class TBNet(nn.Module):
             fuse=fuse,
             **resilience,
         )
-        return server.start() if start else server
+        if not start:
+            if http_port is not None:
+                raise ValueError("http_port requires start=True")
+            return server
+        server.start()
+        if http_port is not None:
+            server.serve_http(host=http_host, port=http_port)
+        return server
 
 
 def make_synthetic_batch(

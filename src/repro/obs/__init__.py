@@ -1,0 +1,105 @@
+"""First-class observability: metrics, request tracing, op profiling, and
+the Prometheus-style HTTP edge.
+
+Four standalone pieces (each usable alone, none imports the rest of the
+stack above :mod:`repro.backend`):
+
+- :mod:`repro.obs.metrics` — thread-safe :class:`Counter` / :class:`Gauge`
+  / :class:`Histogram` (log-spaced latency buckets, labeled series) in a
+  :class:`Registry` with Prometheus text exposition;
+- :mod:`repro.obs.trace` — per-request stage spans in a bounded ring
+  (:class:`Tracer`), exportable as Chrome ``trace_event`` JSON for
+  ``chrome://tracing``;
+- :mod:`repro.obs.profile` — the op-level profiler (``REPRO_PROFILE=1`` or
+  :func:`using_profiler`) hooked into compiled serving steps and the
+  autograd backward loop; timing only, bit-identical results;
+- :mod:`repro.obs.http` — :class:`ObsHTTPServer`, a stdlib HTTP thread
+  serving ``/metrics``, ``/health``, ``/ready`` and ``/traces.json``.
+
+The serving stack emits through this package: every
+:class:`repro.serve.Server` owns a registry + tracer (see the metric
+catalogue below), ``server.serve_http()`` exposes them, and
+``Server.stats()`` remains the in-process compatibility snapshot of the
+same series.
+
+Metric catalogue (every series the serving stack exports)
+---------------------------------------------------------
+All serving metrics carry a ``server`` label (``srv0``, ``srv1``, ... in
+creation order) so multiple servers can share one registry.
+
+Counters:
+
+- ``repro_serve_requests_submitted_total`` — requests accepted by ``submit()``;
+- ``repro_serve_requests_completed_total`` — requests resolved with a result;
+- ``repro_serve_samples_completed_total`` — samples inside completed requests;
+- ``repro_serve_batches_dispatched_total`` — coalesced batches handed to workers;
+- ``repro_serve_samples_dispatched_total`` — samples inside dispatched batches
+  (clamped per dispatch to ``max_batch_size``, the occupancy numerator);
+- ``repro_serve_requests_rejected_total`` — ``reject``-mode overload refusals;
+- ``repro_serve_requests_shed_total`` — ``shed_oldest`` cancellations;
+- ``repro_serve_requests_expired_total`` — deadline sweeps (never served);
+- ``repro_serve_requests_failed_total`` — futures resolved with an exception;
+- ``repro_serve_batches_retried_total`` — re-serve attempts (transient
+  retries and bisection halves);
+- ``repro_serve_worker_restarts_total`` — watchdog respawns + stuck
+  replacements;
+- ``repro_serve_bucket_calls_total{bucket="N"}`` — compiled runs routed to
+  each session bucket;
+- ``repro_serve_eager_tail_total`` — eager last-resort serves (remainder
+  smaller than every bucket).
+
+Gauges (computed at scrape time):
+
+- ``repro_serve_queue_depth`` — requests waiting in the queue;
+- ``repro_serve_workers_alive`` — live worker threads;
+- ``repro_serve_batch_occupancy`` — mean dispatched samples per batch over
+  ``max_batch_size`` (1.0 = every dispatch full).
+
+Histograms (milliseconds, buckets
+:data:`~repro.obs.metrics.DEFAULT_LATENCY_BUCKETS_MS`):
+
+- ``repro_serve_request_latency_ms`` — submit-to-result, the same quantity
+  ``stats()['latency_ms_p*']`` reports percentiles of;
+- ``repro_serve_queue_wait_ms`` — submit-to-collection (time spent queued);
+- ``repro_serve_service_ms`` — collection-to-result (coalesce + serve +
+  scatter), so ``latency ≈ queue_wait + service`` per request.
+"""
+
+from repro.obs.http import ObsHTTPServer
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    get_registry,
+)
+from repro.obs.profile import (
+    Profiler,
+    active_profiler,
+    disable_profiler,
+    enable_profiler,
+    using_profiler,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullRegistry",
+    "ObsHTTPServer",
+    "Profiler",
+    "Registry",
+    "Span",
+    "Tracer",
+    "active_profiler",
+    "disable_profiler",
+    "enable_profiler",
+    "get_registry",
+    "using_profiler",
+]

@@ -1,0 +1,171 @@
+"""The observability HTTP edge: ``/metrics``, ``/health``, ``/ready``,
+``/traces.json`` over a stdlib ``http.server`` thread.
+
+:class:`ObsHTTPServer` binds a :class:`~repro.obs.metrics.Registry`, an
+optional :class:`~repro.obs.trace.Tracer` and a pair of probe callbacks to
+four routes:
+
+- ``GET /metrics`` — the registry in Prometheus text exposition format
+  (``text/plain; version=0.0.4``), ready for a Prometheus scrape job or a
+  plain ``curl``;
+- ``GET /health`` — liveness: always ``200`` with the ``health_fn()``
+  snapshot as JSON (the process answered, so it is alive; the body says how
+  well);
+- ``GET /ready`` — readiness: ``200`` when ``ready_fn()`` is truthy,
+  ``503`` otherwise, with ``{"ready": bool}`` JSON either way — the shape
+  load balancers and rolling deploys expect;
+- ``GET /traces.json`` — the tracer's ring as Chrome ``trace_event`` JSON
+  (load it in ``chrome://tracing``); ``404`` when no tracer is attached.
+
+The server is a ``ThreadingHTTPServer`` running ``serve_forever`` on a
+daemon thread: scrapes never touch the serving hot path beyond the
+registry's per-metric locks, and a wedged scrape cannot wedge the process.
+Bind is loopback by default; ``port=0`` asks the OS for a free port (read
+it back from :attr:`ObsHTTPServer.port`).
+
+Wiring it to a live :class:`repro.serve.Server` is one call —
+``server.serve_http()`` — which maps the probes to ``Server.health`` /
+``Server.ready`` and shuts the edge down with the server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs.metrics import Registry
+from repro.obs.trace import Tracer
+
+__all__ = ["ObsHTTPServer"]
+
+#: The Prometheus text exposition content type.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The edge is an ops surface: keep request logging off the server's
+    # stdout/stderr (scrapes arrive every few seconds, forever).
+    def log_message(self, format, *args):  # noqa: A002 - BaseHTTPRequestHandler API
+        pass
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload) -> None:
+        self._send(status, json.dumps(payload).encode("utf-8"),
+                   "application/json; charset=utf-8")
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        edge: "ObsHTTPServer" = self.server.edge  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._send(200, edge.registry.render().encode("utf-8"),
+                           METRICS_CONTENT_TYPE)
+            elif path == "/health":
+                payload = edge.health_fn() if edge.health_fn is not None else {}
+                self._send_json(200, payload)
+            elif path == "/ready":
+                ready = bool(edge.ready_fn()) if edge.ready_fn is not None else True
+                self._send_json(200 if ready else 503, {"ready": ready})
+            elif path == "/traces.json":
+                if edge.tracer is None:
+                    self._send_json(404, {"error": "no tracer attached"})
+                else:
+                    self._send_json(200, edge.tracer.chrome_trace())
+            else:
+                self._send_json(404, {
+                    "error": f"unknown path {path!r}",
+                    "routes": ["/metrics", "/health", "/ready", "/traces.json"],
+                })
+        except Exception as exc:  # a broken probe must not kill the edge
+            try:
+                self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            except OSError:
+                pass  # client went away mid-error; nothing left to tell it
+
+
+class ObsHTTPServer:
+    """A daemon-thread HTTP edge over one registry/tracer/probe set.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.Registry` behind ``/metrics``
+        (default: the process-wide one).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` behind ``/traces.json``.
+    health_fn / ready_fn:
+        Probe callbacks: ``health_fn() -> dict`` (served as JSON with 200)
+        and ``ready_fn() -> bool`` (200/503).  Both optional.
+    host / port:
+        Bind address; loopback and an OS-assigned free port by default.
+
+    Use :meth:`start`/:meth:`stop` explicitly or as a context manager.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
+        health_fn: Optional[Callable[[], dict]] = None,
+        ready_fn: Optional[Callable[[], bool]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if registry is None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+        self.registry = registry
+        self.tracer = tracer
+        self.health_fn = health_fn
+        self.ready_fn = ready_fn
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.edge = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the OS-assigned one)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-obs-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the edge down and release the socket (idempotent)."""
+        thread = self._thread
+        if thread is not None:
+            self._thread = None
+            self._httpd.shutdown()
+            thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObsHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,179 @@
+"""Request tracing: per-stage spans in a bounded ring, Chrome-trace export.
+
+A :class:`Tracer` hands out monotonically increasing **trace ids** (one per
+request) and records :class:`Span` objects — ``(trace_id, name, start, end,
+thread, args)`` — into a bounded ring buffer, so a long-running server keeps
+the most recent N spans with O(1) recording cost and no unbounded growth.
+
+The serving front end records one span per request stage
+(``queue_wait → coalesce → serve → scatter → resolve``; see
+:mod:`repro.serve.frontend`), which makes a single request's life visible
+end to end: how long it sat in the queue, which worker picked it up, how
+many serve attempts (retries, bisection splits) it took, and when its
+future resolved.
+
+:meth:`Tracer.chrome_trace` exports the ring as Chrome ``trace_event`` JSON
+(the ``{"traceEvents": [...]}`` object format): save it as ``trace.json``
+— or scrape it live from the ``/traces.json`` HTTP route
+(:mod:`repro.obs.http`) — and load it in ``chrome://tracing`` or
+https://ui.perfetto.dev to see the spans on a per-thread timeline.
+
+Timestamps are ``time.monotonic()`` seconds (the serving stack's clock);
+the Chrome export converts to microseconds, which is what the trace-event
+format expects.  Spans may be recorded from any thread: recording takes one
+lock around a deque append.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One recorded stage of one trace: a closed ``[start, end]`` interval.
+
+    ``start``/``end`` are ``time.monotonic()`` seconds; ``thread`` is the
+    recording thread's name (the Chrome export lanes spans by thread);
+    ``args`` carries small JSON-serializable details (attempt number, batch
+    size, error class).
+    """
+
+    __slots__ = ("trace_id", "name", "start", "end", "thread", "args")
+
+    def __init__(self, trace_id: int, name: str, start: float, end: float,
+                 thread: str, args: Optional[dict] = None) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.start = start
+        self.end = end
+        self.thread = thread
+        self.args = args or {}
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Span(trace={self.trace_id}, {self.name!r}, "
+            f"{self.duration * 1e3:.3f} ms)"
+        )
+
+
+class Tracer:
+    """A bounded ring of :class:`Span` records plus trace-id allocation.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained spans; the ring keeps the most recent ones.  With
+        ~5 spans per served request the default keeps the last ~800
+        requests' worth.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        # The ring holds plain (trace_id, name, start, end, thread, args)
+        # tuples — recording is on the serving hot path, so the Span
+        # objects are only materialized at read time (:meth:`spans`).
+        self._spans: deque = deque(maxlen=self.capacity)
+        self._ids = itertools.count(1)
+
+    def new_trace(self) -> int:
+        """Allocate the next trace id (thread-safe, monotonically rising)."""
+        return next(self._ids)
+
+    def record(self, trace_id: int, name: str, start: float, end: float,
+               **args) -> None:
+        """Record one finished span with explicit timestamps.
+
+        The explicit-timestamp form is what the server uses: a stage's start
+        (e.g. submit time) and end (e.g. collection time) are observed on
+        different threads, so a context manager cannot bracket it.
+        """
+        entry = (trace_id, name, start, end,
+                 threading.current_thread().name, args or None)
+        lock = self._lock
+        lock.acquire()
+        try:
+            self._spans.append(entry)
+        finally:
+            lock.release()
+
+    def record_many(
+        self, entries: List[Tuple[int, str, float, float, Optional[dict]]]
+    ) -> None:
+        """Batch-record ``(trace_id, name, start, end, args)`` tuples.
+
+        One thread-name lookup and one lock acquisition for the whole
+        batch — the server uses this for the per-request span fan-out of a
+        coalesced batch, where per-span :meth:`record` calls would pay the
+        lock N times on the hot path.
+        """
+        thread = threading.current_thread().name
+        full = [(tid, name, start, end, thread, args)
+                for tid, name, start, end, args in entries]
+        lock = self._lock
+        lock.acquire()
+        try:
+            self._spans.extend(full)
+        finally:
+            lock.release()
+
+    @contextmanager
+    def span(self, trace_id: int, name: str, **args):
+        """Context manager recording the block's wall time as one span."""
+        start = time.monotonic()
+        try:
+            yield
+        finally:
+            self.record(trace_id, name, start, time.monotonic(), **args)
+
+    def spans(self, trace_id: Optional[int] = None) -> List[Span]:
+        """Snapshot of retained spans, oldest first; optionally one trace's."""
+        with self._lock:
+            snapshot = list(self._spans)
+        if trace_id is not None:
+            snapshot = [e for e in snapshot if e[0] == trace_id]
+        return [Span(*e) for e in snapshot]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def chrome_trace(self, pid: int = 1) -> Dict:
+        """The retained spans as a Chrome ``trace_event`` JSON object.
+
+        Complete (``"ph": "X"``) events with microsecond timestamps, laned
+        by recording thread; each event's ``args`` carries the trace id so
+        chrome://tracing's search finds every stage of one request.
+        """
+        events = []
+        for span in self.spans():
+            args = dict(span.args)
+            args["trace_id"] = span.trace_id
+            events.append({
+                "name": span.name,
+                "cat": "request",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(0.0, span.duration) * 1e6,
+                "pid": pid,
+                "tid": span.thread,
+                "args": args,
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

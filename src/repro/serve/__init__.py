@@ -25,7 +25,12 @@ The serving stack toward the production north star, bottom-up:
 - :mod:`repro.serve.faults` provides deterministic seeded chaos hooks
   (:class:`FaultInjector` / :func:`inject_faults`) — raise-on-nth-call,
   added latency, worker-kill, poisoned payloads — so every resilience
-  behavior is testable under injected failure.
+  behavior is testable under injected failure;
+- the front end emits through :mod:`repro.obs`: every server owns a metric
+  registry (Prometheus exposition) and a per-request stage-span tracer,
+  ``Server.serve_http()`` exposes ``/metrics`` / ``/health`` / ``/ready``
+  / ``/traces.json``, and ``REPRO_PROFILE=1`` turns on the op-level
+  profiler inside compiled replay.
 
 See :mod:`repro.serve.session` for the execution model and guarantees
 (bit-identical to the eager ``no_grad`` forward; dtype and shape are both

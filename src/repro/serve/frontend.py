@@ -49,9 +49,16 @@ that into a front end that serves *any* traffic shape and survives failure:
   every worker is dead the queue is failed with a clear error instead of
   stranding clients.  :meth:`Server.stop` takes a ``timeout`` and cannot
   hang forever: leftover queued requests are resolved exceptionally.
-- **Metrics**: :meth:`Server.stats` reports queue depth, batch occupancy,
-  p50/p95/p99 request latency, served throughput, and the resilience
-  counters (``requests_rejected`` / ``requests_shed`` /
+- **Observability**: every server owns a :class:`repro.obs.metrics.Registry`
+  (counters, scrape-time gauges, per-stage latency histograms — the full
+  catalogue is in :mod:`repro.obs`) and a :class:`repro.obs.trace.Tracer`
+  recording per-request stage spans (``queue_wait → coalesce → serve →
+  scatter → resolve``).  :meth:`Server.serve_http` exposes ``/metrics``,
+  ``/health``, ``/ready`` and ``/traces.json`` over HTTP;
+  :meth:`Server.stats` stays as the in-process snapshot of the same
+  numbers — queue depth, batch occupancy, p50/p95/p99 submit-to-result
+  latency plus the queue-wait/service breakdown, served throughput, and
+  the resilience counters (``requests_rejected`` / ``requests_shed`` /
   ``requests_expired`` / ``requests_failed`` / ``batches_retried`` /
   ``worker_restarts``); the ``serve_queue`` benchmark workload records
   them per backend.
@@ -76,6 +83,7 @@ batch's dtypes exactly (see :meth:`InferenceSession.run`).
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -86,6 +94,8 @@ from concurrent.futures import Future
 import numpy as np
 
 from repro.nn.module import Module
+from repro.obs.metrics import NULL_REGISTRY, Registry
+from repro.obs.trace import Tracer
 from repro.serve.resilience import (
     BACKPRESSURE_MODES,
     DeadlineExceeded,
@@ -105,6 +115,108 @@ from repro.serve.session import (
 __all__ = ["SessionPool", "Server", "DEFAULT_BUCKETS"]
 
 DEFAULT_BUCKETS = (1, 4, 16, 64)
+
+#: Server-label allocator: every Server's metrics carry server="srvN" so
+#: several servers can share one registry without colliding.
+_SERVER_IDS = itertools.count()
+
+#: No-op counter handed to pools built without a registry (bare pools).
+_NULL_COUNTER = NULL_REGISTRY.counter("null")
+
+
+class _ServerMetrics:
+    """One server's registry children, resolved once at construction.
+
+    The hot path holds the child objects directly (``self.requests_failed
+    .inc()``), so per-event cost is one leaf lock — no name lookups.  The
+    full catalogue (names, types, labels, units) is documented in
+    :mod:`repro.obs`.
+    """
+
+    __slots__ = (
+        "requests_submitted", "requests_completed", "samples_completed",
+        "batches_dispatched", "samples_dispatched", "requests_rejected",
+        "requests_shed", "requests_expired", "requests_failed",
+        "batches_retried", "worker_restarts", "queue_depth", "workers_alive",
+        "batch_occupancy", "request_latency_ms", "queue_wait_ms",
+        "service_ms", "bucket_calls", "eager_tail",
+    )
+
+    def __init__(self, registry, server_label: str, buckets: Tuple[int, ...]) -> None:
+        label = ("server",)
+        kv = {"server": server_label}
+
+        def counter(name, help_text):
+            return registry.counter(name, help_text, labelnames=label).labels(**kv)
+
+        def histogram(name, help_text):
+            return registry.histogram(name, help_text, labelnames=label).labels(**kv)
+
+        self.requests_submitted = counter(
+            "repro_serve_requests_submitted_total",
+            "Requests accepted by submit().")
+        self.requests_completed = counter(
+            "repro_serve_requests_completed_total",
+            "Requests resolved with a result.")
+        self.samples_completed = counter(
+            "repro_serve_samples_completed_total",
+            "Samples inside completed requests.")
+        self.batches_dispatched = counter(
+            "repro_serve_batches_dispatched_total",
+            "Coalesced batches handed to workers.")
+        self.samples_dispatched = counter(
+            "repro_serve_samples_dispatched_total",
+            "Samples inside dispatched batches (clamped to max_batch_size).")
+        self.requests_rejected = counter(
+            "repro_serve_requests_rejected_total",
+            "reject-mode overload refusals at submit().")
+        self.requests_shed = counter(
+            "repro_serve_requests_shed_total",
+            "shed_oldest cancellations of stale queued requests.")
+        self.requests_expired = counter(
+            "repro_serve_requests_expired_total",
+            "Requests whose deadline passed before service.")
+        self.requests_failed = counter(
+            "repro_serve_requests_failed_total",
+            "Futures resolved with an exception.")
+        self.batches_retried = counter(
+            "repro_serve_batches_retried_total",
+            "Re-serve attempts from transient retries and bisection.")
+        self.worker_restarts = counter(
+            "repro_serve_worker_restarts_total",
+            "Watchdog worker respawns and stuck-worker replacements.")
+        self.queue_depth = registry.gauge(
+            "repro_serve_queue_depth",
+            "Requests currently waiting in the queue.",
+            labelnames=label).labels(**kv)
+        self.workers_alive = registry.gauge(
+            "repro_serve_workers_alive",
+            "Live worker threads.",
+            labelnames=label).labels(**kv)
+        self.batch_occupancy = registry.gauge(
+            "repro_serve_batch_occupancy",
+            "Mean dispatched samples per batch over max_batch_size.",
+            labelnames=label).labels(**kv)
+        self.request_latency_ms = histogram(
+            "repro_serve_request_latency_ms",
+            "Submit-to-result request latency, milliseconds.")
+        self.queue_wait_ms = histogram(
+            "repro_serve_queue_wait_ms",
+            "Submit-to-collection queue wait, milliseconds.")
+        self.service_ms = histogram(
+            "repro_serve_service_ms",
+            "Collection-to-result service time, milliseconds.")
+        bucket_family = registry.counter(
+            "repro_serve_bucket_calls_total",
+            "Compiled runs routed to each session bucket.",
+            labelnames=("server", "bucket"))
+        self.bucket_calls = {
+            b: bucket_family.labels(server=server_label, bucket=str(b))
+            for b in buckets
+        }
+        self.eager_tail = counter(
+            "repro_serve_eager_tail_total",
+            "Eager last-resort serves (remainder smaller than every bucket).")
 
 
 def _normalize_buckets(buckets: Sequence[int]) -> Tuple[int, ...]:
@@ -136,6 +248,14 @@ class SessionPool:
         model's eager ``no_grad`` forward (counted in :attr:`eager_calls`).
     fuse:
         Run the trace-time fusion pass on each compiled session (default).
+    metrics:
+        Optional ``(bucket_counters, eager_counter)`` pair of
+        :class:`repro.obs.metrics.Counter` children (``{bucket_size:
+        counter}`` plus the eager-tail counter).  :class:`Server` passes its
+        registry children so every pool replica routes into the same
+        ``repro_serve_bucket_calls_total{bucket=...}`` series; bare pools
+        default to no-op counters.  The plain :attr:`bucket_calls` /
+        :attr:`eager_calls` attributes stay as the per-pool view either way.
 
     Like the sessions it holds, a pool is **not thread-safe**: give each
     worker its own replica (:class:`Server` does).
@@ -147,8 +267,18 @@ class SessionPool:
         example_batch,
         buckets: Sequence[int] = DEFAULT_BUCKETS,
         fuse: bool = True,
+        metrics=None,
     ) -> None:
         self._buckets = _normalize_buckets(buckets)
+        if metrics is not None:
+            bucket_counters, eager_counter = metrics
+            self._m_bucket = {
+                b: bucket_counters.get(b, _NULL_COUNTER) for b in self._buckets
+            }
+            self._m_eager = eager_counter
+        else:
+            self._m_bucket = {b: _NULL_COUNTER for b in self._buckets}
+            self._m_eager = _NULL_COUNTER
         examples = [t.data for t in _as_input_tensors(example_batch)]
         for i, arr in enumerate(examples):
             if arr.ndim == 0 or arr.shape[0] < 1:
@@ -295,21 +425,25 @@ class SessionPool:
             session = self.sessions[bucket]
             out[start:stop] = session.run(*(a[start:stop] for a in arrays))
             self.bucket_calls[bucket] += 1
+            self._m_bucket[bucket].inc()
             start = stop
         if remainder:
             out[start:] = self.sessions[self.max_bucket]._run_eager_tail(
                 [a[start:] for a in arrays]
             )
             self.eager_calls += 1
+            self._m_eager.inc()
         return out
 
     __call__ = serve
 
 
 class _Request:
-    __slots__ = ("arrays", "n", "future", "submitted_at", "deadline", "started")
+    __slots__ = ("arrays", "n", "future", "submitted_at", "deadline", "started",
+                 "trace_id", "collected_at")
 
-    def __init__(self, arrays, n, future, submitted_at, deadline=None):
+    def __init__(self, arrays, n, future, submitted_at, deadline=None,
+                 trace_id=0):
         self.arrays = arrays
         self.n = n
         self.future = future
@@ -320,6 +454,12 @@ class _Request:
         #: (its worker was killed mid-serve) must not call
         #: ``set_running_or_notify_cancel`` a second time.
         self.started = False
+        #: Tracer id (0 when tracing is off).
+        self.trace_id = trace_id
+        #: monotonic time a collecting worker absorbed this request (the
+        #: queue-wait/service boundary); re-set if the request is re-queued
+        #: after a worker crash, so stage metrics cover the last attempt.
+        self.collected_at: Optional[float] = None
 
 
 class Server:
@@ -371,6 +511,25 @@ class Server:
         watchdog thread; trace capture is process-global, so models whose
         pools lack a size-1 bucket (eager-tail serving) should not rely on
         stuck replacement while traffic is in flight.
+
+    Observability parameters
+    ------------------------
+    registry:
+        The :class:`repro.obs.metrics.Registry` this server's metrics live
+        in.  ``None`` (default) creates a private registry per server —
+        pass :func:`repro.obs.get_registry` to aggregate several servers
+        onto one ``/metrics`` page (series are disambiguated by the
+        ``server`` label), or :data:`repro.obs.NULL_REGISTRY` to make every
+        metric write a no-op (``stats()`` counters then read 0; only the
+        latency/stage percentiles, which come from internal windows, stay
+        live).  The exported series are catalogued in :mod:`repro.obs`.
+    trace:
+        Record per-request stage spans (``queue_wait → coalesce → serve →
+        scatter → resolve``) into a bounded ring (default on).  Export them
+        with ``server.tracer.chrome_trace()`` or the ``/traces.json`` route
+        of :meth:`serve_http`.
+    trace_capacity:
+        Span ring size (~5 spans per request).
     """
 
     def __init__(
@@ -390,6 +549,9 @@ class Server:
         retry: Optional[RetryPolicy] = None,
         supervise: bool = True,
         supervision: Optional[SupervisionPolicy] = None,
+        registry: Optional[Registry] = None,
+        trace: bool = True,
+        trace_capacity: int = 4096,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -405,8 +567,15 @@ class Server:
             raise ValueError(
                 f"default_timeout must be > 0, got {default_timeout}"
             )
+        self._server_id = f"srv{next(_SERVER_IDS)}"
+        self._registry = registry if registry is not None else Registry()
+        self._tracer: Optional[Tracer] = Tracer(trace_capacity) if trace else None
+        self._m = _ServerMetrics(
+            self._registry, self._server_id, _normalize_buckets(buckets)
+        )
+        pool_metrics = (self._m.bucket_calls, self._m.eager_tail)
         self._pool_factory = lambda: SessionPool(
-            model, example_batch, buckets, fuse=fuse
+            model, example_batch, buckets, fuse=fuse, metrics=pool_metrics
         )
         self._slots = [
             WorkerSlot(i, self._pool_factory()) for i in range(workers)
@@ -435,21 +604,30 @@ class Server:
         self._started = False
         self._stopping = False
         self._failed: Optional[str] = None  # terminal failure reason
-        # Metrics (guarded by self._lock).
-        self._submitted_requests = 0
-        self._completed_requests = 0
-        self._completed_samples = 0
-        self._dispatches = 0
-        self._dispatched_samples = 0
-        self._requests_rejected = 0
-        self._requests_shed = 0
-        self._requests_expired = 0
-        self._requests_failed = 0
-        self._batches_retried = 0
-        self._worker_restarts = 0
+        self._http = None  # ObsHTTPServer once serve_http() is called
+        # Counters live in the registry (self._m children are the source of
+        # truth; stats() is a snapshot view over them).  The percentile
+        # windows stay internal deques: a histogram trades exactness for
+        # bounded memory, while the recent-window percentiles stats()
+        # promises need the raw samples.
         self._latencies: deque = deque(maxlen=latency_window)
+        self._queue_waits: deque = deque(maxlen=latency_window)
+        self._service_times: deque = deque(maxlen=latency_window)
         self._first_dispatch_at: Optional[float] = None
         self._last_completion_at: Optional[float] = None
+        # Scrape-time gauges: evaluated by the registry at render, so queue
+        # churn never writes a gauge.
+        self._m.queue_depth.set_function(lambda: float(len(self._queue)))
+        self._m.workers_alive.set_function(
+            lambda: float(sum(1 for s in list(self._slots) if s.is_alive()))
+        )
+        self._m.batch_occupancy.set_function(self._occupancy)
+
+    def _occupancy(self) -> float:
+        dispatches = self._m.batches_dispatched.value
+        if not dispatches:
+            return 0.0
+        return self._m.samples_dispatched.value / (dispatches * self._max_batch)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -464,10 +642,24 @@ class Server:
         return self._max_batch
 
     @property
+    def registry(self) -> Registry:
+        """The metric registry this server's series live in (see
+        :mod:`repro.obs` for the catalogue).  Call ``.render()`` for the
+        Prometheus text exposition, or expose it via :meth:`serve_http`."""
+        return self._registry
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The request-span ring (None when built with ``trace=False``).
+        ``tracer.chrome_trace()`` exports Chrome trace-event JSON."""
+        return self._tracer
+
+    @property
     def pools(self) -> List[SessionPool]:
         """Every pool ever attached to a worker slot (fault-injection and
         stats surface; replacement pools of stuck workers are appended)."""
-        return list(self._all_pools)
+        with self._lock:
+            return list(self._all_pools)
 
     def _spawn(self, slot: WorkerSlot) -> None:
         suffix = f"-r{slot.restarts}" if slot.restarts else ""
@@ -496,6 +688,29 @@ class Server:
             self._watchdog.start()
         return self
 
+    def serve_http(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the observability HTTP edge for this server (idempotent).
+
+        Exposes ``/metrics`` (this server's registry), ``/health`` and
+        ``/ready`` (the :meth:`health`/:meth:`ready` probes) and
+        ``/traces.json`` (the span ring) on a daemon thread; returns the
+        running :class:`repro.obs.http.ObsHTTPServer` (read the bound port
+        from ``.port``, the base URL from ``.url``).  The edge is shut down
+        by :meth:`stop`.
+        """
+        if self._http is None:
+            from repro.obs.http import ObsHTTPServer
+
+            self._http = ObsHTTPServer(
+                registry=self._registry,
+                tracer=self._tracer,
+                health_fn=self.health,
+                ready_fn=self.ready,
+                host=host,
+                port=port,
+            ).start()
+        return self._http
+
     def stop(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
         """Stop the workers; never hangs past ``timeout``.
 
@@ -506,6 +721,9 @@ class Server:
         resolved exceptionally with a clear error instead of stranding the
         clients, and blocked ``submit()`` callers are woken.
         """
+        http, self._http = self._http, None
+        if http is not None:
+            http.stop()
         with self._cond:
             already = not self._started or self._stopping
             self._stopping = True
@@ -575,7 +793,7 @@ class Server:
                 "workers_stuck": sum(1 for s in self._slots if s.stuck),
                 "workers_retired": sum(1 for s in self._slots if s.retired),
                 "worker_crashes": sum(s.crashes for s in self._slots),
-                "worker_restarts": self._worker_restarts,
+                "worker_restarts": int(self._m.worker_restarts.value),
                 "queue_depth": len(self._queue),
             }
 
@@ -611,14 +829,15 @@ class Server:
             return future
         now = time.monotonic()
         deadline = now + timeout if timeout is not None else None
-        request = _Request(arrays, n, future, now, deadline)
+        trace_id = self._tracer.new_trace() if self._tracer is not None else 0
+        request = _Request(arrays, n, future, now, deadline, trace_id=trace_id)
         with self._cond:
             self._check_accepting_locked()
             if self._queue_limit is not None:
                 self._admit_locked(request, deadline)
             self._queue.append(request)
-            self._submitted_requests += 1
             self._cond.notify_all()
+        self._m.requests_submitted.inc()
         return future
 
     def _check_accepting_locked(self) -> None:
@@ -634,7 +853,7 @@ class Server:
         """Enforce ``queue_limit`` per the overload policy (cond held)."""
         if self._overload == "reject":
             if len(self._queue) >= self._queue_limit:
-                self._requests_rejected += 1
+                self._m.requests_rejected.inc()
                 raise ServerOverloaded(
                     f"queue is full ({self._queue_limit} requests); "
                     "retry later or raise queue_limit"
@@ -643,14 +862,14 @@ class Server:
             while len(self._queue) >= self._queue_limit:
                 stale = self._queue.popleft()
                 if stale.future.cancel():
-                    self._requests_shed += 1
+                    self._m.requests_shed.inc()
                 # Already cancelled/running futures just drop off the queue.
         else:  # block
             while len(self._queue) >= self._queue_limit:
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        self._requests_expired += 1
+                        self._m.requests_expired.inc()
                         raise DeadlineExceeded(
                             "request timed out waiting for queue space "
                             f"(queue_limit={self._queue_limit})"
@@ -667,13 +886,26 @@ class Server:
     def stats(self) -> Dict[str, float]:
         """A snapshot of the serving metrics.
 
+        Counters are read from the server's registry children — the exact
+        series ``/metrics`` exports (catalogued in :mod:`repro.obs`) — so
+        this stays a zero-dependency in-process view of the same numbers.
+        All ``*_ms`` values are milliseconds; all percentile windows share
+        ``latency_window`` recent samples.
+
         - ``queue_depth``: requests currently waiting;
         - ``batch_occupancy``: mean coalesced samples per dispatch divided
           by ``max_batch_size`` (1.0 = every dispatch full; an oversized
           single request counts as one full dispatch);
         - ``latency_ms_p50`` / ``latency_ms_p95`` / ``latency_ms_p99``:
-          submit-to-result request latency percentiles over the recent
-          window;
+          **submit-to-result** request latency percentiles over the recent
+          window — the same quantity the
+          ``repro_serve_request_latency_ms`` histogram observes;
+        - ``queue_wait_ms_p50/p95/p99``: submit-to-collection wait (time a
+          request sat queued before a worker absorbed it;
+          ``repro_serve_queue_wait_ms``);
+        - ``service_ms_p50/p95/p99``: collection-to-result time (coalesce +
+          serve; ``repro_serve_service_ms``), so per request
+          ``latency ≈ queue_wait + service``;
         - ``throughput_rps``: completed samples per second between the
           first dispatch and the latest completion;
         - resilience counters: ``requests_rejected`` (reject-mode refusals),
@@ -684,52 +916,58 @@ class Server:
         - plus raw counters (requests/samples/batches), ``workers_alive``,
           and the pools' bucket routing counts.
         """
+        m = self._m
         alive = sum(1 for slot in self._slots if slot.is_alive())
         with self._lock:
             latencies = np.asarray(self._latencies, dtype=np.float64)
+            queue_waits = np.asarray(self._queue_waits, dtype=np.float64)
+            service_times = np.asarray(self._service_times, dtype=np.float64)
             depth = len(self._queue)
-            dispatches = self._dispatches
-            occupancy = (
-                self._dispatched_samples / (dispatches * self._max_batch)
-                if dispatches
-                else 0.0
-            )
+            # Snapshot the pool list under the lock: _handle_stuck appends
+            # replacement pools concurrently (also under this lock).
+            pools = list(self._all_pools)
             elapsed = (
                 self._last_completion_at - self._first_dispatch_at
                 if self._first_dispatch_at is not None
                 and self._last_completion_at is not None
                 else 0.0
             )
-            throughput = self._completed_samples / elapsed if elapsed > 0 else 0.0
-            snapshot = {
-                "queue_depth": float(depth),
-                "requests_submitted": float(self._submitted_requests),
-                "requests_completed": float(self._completed_requests),
-                "samples_completed": float(self._completed_samples),
-                "batches_dispatched": float(dispatches),
-                "batch_occupancy": float(occupancy),
-                "throughput_rps": float(throughput),
-                "requests_rejected": float(self._requests_rejected),
-                "requests_shed": float(self._requests_shed),
-                "requests_expired": float(self._requests_expired),
-                "requests_failed": float(self._requests_failed),
-                "batches_retried": float(self._batches_retried),
-                "worker_restarts": float(self._worker_restarts),
-                "workers_alive": float(alive),
-            }
+        completed_samples = m.samples_completed.value
+        throughput = completed_samples / elapsed if elapsed > 0 else 0.0
+        snapshot = {
+            "queue_depth": float(depth),
+            "requests_submitted": m.requests_submitted.value,
+            "requests_completed": m.requests_completed.value,
+            "samples_completed": completed_samples,
+            "batches_dispatched": m.batches_dispatched.value,
+            "batch_occupancy": float(self._occupancy()),
+            "throughput_rps": float(throughput),
+            "requests_rejected": m.requests_rejected.value,
+            "requests_shed": m.requests_shed.value,
+            "requests_expired": m.requests_expired.value,
+            "requests_failed": m.requests_failed.value,
+            "batches_retried": m.batches_retried.value,
+            "worker_restarts": m.worker_restarts.value,
+            "workers_alive": float(alive),
+        }
         for pct in (50, 95, 99):
-            snapshot[f"latency_ms_p{pct}"] = (
-                float(np.percentile(latencies, pct) * 1e3)
-                if latencies.size
-                else 0.0
-            )
+            for key, window in (
+                ("latency_ms", latencies),
+                ("queue_wait_ms", queue_waits),
+                ("service_ms", service_times),
+            ):
+                snapshot[f"{key}_p{pct}"] = (
+                    float(np.percentile(window, pct) * 1e3)
+                    if window.size
+                    else 0.0
+                )
         bucket_calls: Dict[int, int] = {}
-        for pool in self._all_pools:
+        for pool in pools:
             for bucket, count in pool.bucket_calls.items():
                 bucket_calls[bucket] = bucket_calls.get(bucket, 0) + count
         snapshot["bucket_calls"] = bucket_calls  # type: ignore[assignment]
         snapshot["eager_tail_serves"] = float(
-            sum(pool.eager_calls for pool in self._all_pools)
+            sum(pool.eager_calls for pool in pools)
         )
         return snapshot
 
@@ -741,7 +979,12 @@ class Server:
         held); returns True when the request was consumed."""
         if request.deadline is None or now < request.deadline:
             return False
-        self._requests_expired += 1
+        self._m.requests_expired.inc()
+        if self._tracer is not None and request.trace_id:
+            self._tracer.record(
+                request.trace_id, "expired", request.submitted_at, now,
+                queued_s=round(now - request.submitted_at, 6),
+            )
         if request.started or request.future.set_running_or_notify_cancel():
             if not request.future.done():
                 request.future.set_exception(
@@ -792,6 +1035,7 @@ class Server:
                     continue
                 if first.started or first.future.set_running_or_notify_cancel():
                     first.started = True
+                    first.collected_at = now
                     break  # not cancelled; serve it
             requests = [first]
             total = first.n
@@ -811,6 +1055,7 @@ class Server:
                             or request.future.set_running_or_notify_cancel()):
                         continue  # cancelled while queued: drop it
                     request.started = True
+                    request.collected_at = now
                     requests.append(request)
                     total += request.n
                 else:
@@ -837,12 +1082,39 @@ class Server:
             if requests is None:
                 return
             total = sum(r.n for r in requests)
+            dispatched_at = time.monotonic()
+            self._m.batches_dispatched.inc()
+            # Clamped so occupancy stays a fraction <= 1.0: an oversized
+            # single request (never split) counts as one full dispatch.
+            self._m.samples_dispatched.inc(min(total, self._max_batch))
+            # Stage boundary: submit -> collected is queue wait, collected ->
+            # dispatch is coalescing (waiting for stragglers).  A re-queued
+            # request (worker killed mid-serve) is collected again, so these
+            # cover its last attempt.
+            queue_waits = []
+            spans = [] if self._tracer is not None else None
+            coalesce_args = {"batch_requests": len(requests),
+                             "batch_samples": total}
+            for request in requests:
+                if request.collected_at is None:
+                    continue
+                wait = request.collected_at - request.submitted_at
+                queue_waits.append(wait)
+                if spans is not None and request.trace_id:
+                    spans.append((request.trace_id, "queue_wait",
+                                  request.submitted_at, request.collected_at,
+                                  None))
+                    spans.append((request.trace_id, "coalesce",
+                                  request.collected_at, dispatched_at,
+                                  coalesce_args))
+            if queue_waits:
+                self._m.queue_wait_ms.observe_many(
+                    [w * 1e3 for w in queue_waits])
+            if spans:
+                self._tracer.record_many(spans)
             with self._lock:
-                self._dispatches += 1
-                # Clamped so occupancy stays a fraction <= 1.0: an oversized
-                # single request (never split) counts as one full dispatch.
-                self._dispatched_samples += min(total, self._max_batch)
-            slot.busy_since = time.monotonic()
+                self._queue_waits.extend(queue_waits)
+            slot.busy_since = dispatched_at
             try:
                 self._serve_group(slot.pool, requests, first=True)
             except WorkerKill:
@@ -859,8 +1131,8 @@ class Server:
                     if not request.future.done():
                         request.future.set_exception(exc)
                         failed += 1
-                with self._lock:
-                    self._requests_failed += failed
+                if failed:
+                    self._m.requests_failed.inc(failed)
             finally:
                 slot.busy_since = None
             if slot.retired:
@@ -886,14 +1158,18 @@ class Server:
         attempt = 0
         while True:
             if not (first and attempt == 0):
-                with self._lock:
-                    self._batches_retried += 1
+                self._m.batches_retried.inc()
+            serve_start = time.monotonic()
             try:
                 out = pool.serve(arrays)
                 break
             except WorkerKill:
                 raise
             except Exception as exc:
+                self._record_serve_span(
+                    requests, serve_start, time.monotonic(), attempt,
+                    error=type(exc).__name__,
+                )
                 if self._retry.is_transient(exc) and attempt < self._retry.max_retries:
                     time.sleep(self._retry.delay(attempt))
                     attempt += 1
@@ -902,14 +1178,14 @@ class Server:
                     request = requests[0]
                     if not request.future.done():
                         request.future.set_exception(exc)
-                    with self._lock:
-                        self._requests_failed += 1
+                    self._m.requests_failed.inc()
                     return
                 mid = len(requests) // 2
                 self._serve_group(pool, requests[:mid], first=False)
                 self._serve_group(pool, requests[mid:], first=False)
                 return
         done_at = time.monotonic()
+        self._record_serve_span(requests, serve_start, done_at, attempt)
         if len(requests) == 1:
             # `out` is a fresh per-call array no one else holds; hand it
             # over without the defensive copy.
@@ -923,12 +1199,50 @@ class Server:
                         out[start : start + request.n].copy()
                     )
                 start += request.n
+        scatter_end = time.monotonic()
+        self._m.requests_completed.inc(len(requests))
+        self._m.samples_completed.inc(sum(r.n for r in requests))
+        # done_at (serve finished) is the latency endpoint, matching the
+        # historical stats() definition; the histogram observes the exact
+        # same quantity so percentiles and /metrics agree on what
+        # "latency" means (submit-to-result).
+        latencies = [done_at - r.submitted_at for r in requests]
+        services = [done_at - r.collected_at for r in requests
+                    if r.collected_at is not None]
         with self._lock:
-            self._completed_requests += len(requests)
-            self._completed_samples += sum(r.n for r in requests)
             self._last_completion_at = done_at
+            self._latencies.extend(latencies)
+            self._service_times.extend(services)
+        self._m.request_latency_ms.observe_many([v * 1e3 for v in latencies])
+        if services:
+            self._m.service_ms.observe_many([v * 1e3 for v in services])
+        if self._tracer is not None:
+            resolve_end = time.monotonic()
+            spans = []
             for request in requests:
-                self._latencies.append(done_at - request.submitted_at)
+                if not request.trace_id:
+                    continue
+                spans.append((request.trace_id, "scatter", done_at,
+                              scatter_end, {"samples": request.n}))
+                spans.append((request.trace_id, "resolve", scatter_end,
+                              resolve_end, None))
+            if spans:
+                self._tracer.record_many(spans)
+
+    def _record_serve_span(self, requests: List[_Request], start: float,
+                           end: float, attempt: int,
+                           error: Optional[str] = None) -> None:
+        """One ``serve`` span per request per attempt, so retries and
+        bisection halves show up as repeated serve stages on the trace."""
+        if self._tracer is None:
+            return
+        args = {"attempt": attempt, "group_requests": len(requests)}
+        if error is not None:
+            args["error"] = error
+        spans = [(request.trace_id, "serve", start, end, args)
+                 for request in requests if request.trace_id]
+        if spans:
+            self._tracer.record_many(spans)
 
     # ------------------------------------------------------------------ #
     # Supervision
@@ -974,8 +1288,7 @@ class Server:
         if now >= slot.respawn_at:
             slot.respawn_at = None
             slot.restarts += 1
-            with self._lock:
-                self._worker_restarts += 1
+            self._m.worker_restarts.inc()
             self._spawn(slot)
 
     def _handle_stuck(self, slot: WorkerSlot) -> None:
@@ -990,10 +1303,13 @@ class Server:
         slot.stuck = True
         slot.retired = True
         replacement = WorkerSlot(len(self._slots), self._pool_factory())
-        self._slots.append(replacement)
-        self._all_pools.append(replacement.pool)
+        # Publish the new slot/pool under the lock: stats() and the pools
+        # property snapshot these lists concurrently, and a bare append
+        # would race their iteration.
         with self._lock:
-            self._worker_restarts += 1
+            self._slots.append(replacement)
+            self._all_pools.append(replacement.pool)
+        self._m.worker_restarts.inc()
         self._spawn(replacement)
         with self._cond:
             self._cond.notify_all()  # let the stuck thread see retirement

@@ -27,6 +27,21 @@ policy objects and failure vocabulary the reworked server is built on:
 Everything here is plain policy/state — the enforcement lives in
 :mod:`repro.serve.frontend`; the deterministic chaos hooks that test it live
 in :mod:`repro.serve.faults`.
+
+Every enforcement path is observable: the server increments a registry
+counter (see :mod:`repro.obs` for the full catalogue) each time one of
+these policies fires —
+
+- ``reject`` admission → ``repro_serve_requests_rejected_total``;
+- ``shed_oldest`` cancellation → ``repro_serve_requests_shed_total``;
+- deadline sweeps (queue-space timeout included) →
+  ``repro_serve_requests_expired_total``;
+- :class:`RetryPolicy` retries and bisection halves →
+  ``repro_serve_batches_retried_total``;
+- futures resolved with a batch's exception →
+  ``repro_serve_requests_failed_total``;
+- watchdog respawns and stuck-worker replacements →
+  ``repro_serve_worker_restarts_total``.
 """
 
 from __future__ import annotations

@@ -44,6 +44,7 @@ including ones whose samples interact through batch statistics).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -56,6 +57,7 @@ from repro.backend import get_backend, use_backend
 from repro.backend.fused import FusedNumpyBackend
 from repro.backend.numpy_backend import NumpyBackend
 from repro.nn.module import Module
+from repro.obs.profile import active_profiler
 
 __all__ = ["InferenceSession", "compile_inference", "serve_batches"]
 
@@ -251,9 +253,10 @@ class InferenceSession:
         self._model = model
         self._input_meta = [(t.data.shape, t.data.dtype) for t in inputs]
         self.fused_counts = dict(fused_counts or {})
-        self.op_counts: Dict[str, int] = {}
-        for node in nodes:
-            self.op_counts[node.op] = self.op_counts.get(node.op, 0) + 1
+        self.op_counts: Dict[str, int] = ir.op_counts(nodes)
+        #: Per-step op names, aligned with the compiled step list — the
+        #: labels the op profiler records each replayed step under.
+        self._step_ops = [node.op for node in nodes]
         #: Whether any node computes statistics *across* the batch (eval
         #: batch-norm without running statistics): sample outputs then depend
         #: on the other samples in their micro-batch, so chunk boundaries
@@ -351,8 +354,18 @@ class InferenceSession:
                     "recompile with an example of the new dtype)"
                 )
             values[i] = arr
-        for step in self._steps:
-            step(values)
+        profiler = active_profiler()
+        if profiler is None:
+            for step in self._steps:
+                step(values)
+        else:
+            # Timing-only instrumentation: the exact same step closures run
+            # in the exact same order, so results stay bit-identical.
+            perf = time.perf_counter
+            for op, step in zip(self._step_ops, self._steps):
+                start = perf()
+                step(values)
+                profiler.record("serve:" + op, perf() - start)
         result = self._get_output(values)
         # Drop the slot references (caller inputs, generic-step outputs) so
         # a long-lived session does not pin the last batch between calls;

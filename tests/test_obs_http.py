@@ -1,0 +1,107 @@
+"""The observability HTTP edge: /metrics, /health, /ready, /traces.json."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.http import METRICS_CONTENT_TYPE, ObsHTTPServer
+from repro.obs.metrics import Registry
+from repro.obs.trace import Tracer
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read().decode()
+
+
+@pytest.fixture()
+def edge():
+    registry = Registry()
+    registry.counter("edge_requests_total", "Requests.").inc(5)
+    tracer = Tracer()
+    tracer.record(tracer.new_trace(), "serve", 1.0, 2.0)
+    state = {"ready": True}
+    server = ObsHTTPServer(
+        registry=registry,
+        tracer=tracer,
+        health_fn=lambda: {"alive": True, "workers": 2},
+        ready_fn=lambda: state["ready"],
+    )
+    server.state = state
+    with server:
+        yield server
+
+
+def test_metrics_route_serves_prometheus_text(edge):
+    status, ctype, body = _get(edge.url + "/metrics")
+    assert status == 200
+    assert ctype == METRICS_CONTENT_TYPE
+    assert "# TYPE edge_requests_total counter" in body
+    assert "edge_requests_total 5" in body
+    assert body.endswith("\n")
+
+
+def test_health_route_serves_probe_json(edge):
+    status, ctype, body = _get(edge.url + "/health")
+    assert status == 200
+    assert ctype.startswith("application/json")
+    assert json.loads(body) == {"alive": True, "workers": 2}
+
+
+def test_ready_route_flips_to_503(edge):
+    status, _, body = _get(edge.url + "/ready")
+    assert status == 200 and json.loads(body) == {"ready": True}
+    edge.state["ready"] = False
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(edge.url + "/ready")
+    assert excinfo.value.code == 503
+    assert json.loads(excinfo.value.read().decode()) == {"ready": False}
+
+
+def test_traces_route_serves_chrome_trace_json(edge):
+    status, _, body = _get(edge.url + "/traces.json")
+    assert status == 200
+    doc = json.loads(body)
+    assert len(doc["traceEvents"]) == 1
+    assert doc["traceEvents"][0]["ph"] == "X"
+
+
+def test_unknown_route_404s_with_route_list(edge):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(edge.url + "/nope")
+    assert excinfo.value.code == 404
+    payload = json.loads(excinfo.value.read().decode())
+    assert "/metrics" in payload["routes"]
+
+
+def test_missing_tracer_404s():
+    with ObsHTTPServer(registry=Registry()) as edge:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(edge.url + "/traces.json")
+        assert excinfo.value.code == 404
+
+
+def test_broken_probe_is_a_500_not_a_crash():
+    def broken():
+        raise RuntimeError("probe exploded")
+
+    with ObsHTTPServer(registry=Registry(), health_fn=broken) as edge:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(edge.url + "/health")
+        assert excinfo.value.code == 500
+        assert "probe exploded" in excinfo.value.read().decode()
+        # The edge survived; other routes still answer.
+        status, _, _ = _get(edge.url + "/metrics")
+        assert status == 200
+
+
+def test_stop_is_idempotent_and_releases_the_port():
+    edge = ObsHTTPServer(registry=Registry()).start()
+    port = edge.port
+    assert port > 0
+    edge.stop()
+    edge.stop()  # idempotent
+    with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+        _get(f"http://127.0.0.1:{port}/metrics")

@@ -1,0 +1,262 @@
+"""Metrics core: counters/gauges/histograms, registry semantics, exposition."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    NULL_REGISTRY,
+    Histogram,
+    Registry,
+    get_registry,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Counter / Gauge basics
+# --------------------------------------------------------------------------- #
+def test_counter_counts_and_refuses_negative():
+    c = Registry().counter("c_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError, match="only go up"):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec_and_callback():
+    g = Registry().gauge("g")
+    g.set(10)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13.0
+    g.set_function(lambda: 42.0)
+    assert g.value == 42.0  # callback wins over the stored value
+
+
+# --------------------------------------------------------------------------- #
+# Histogram
+# --------------------------------------------------------------------------- #
+def test_histogram_buckets_are_cumulative():
+    h = Histogram(buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 0.9, 5.0, 50.0, 5000.0):
+        h.observe(v)
+    assert h.buckets() == {1.0: 2, 10.0: 3, 100.0: 4, math.inf: 5}
+    assert h.count == 5
+    assert h.sum == pytest.approx(5056.4)
+
+
+def test_histogram_edge_lands_in_its_le_bucket():
+    # Prometheus buckets are `le` (<=): an observation exactly on an edge
+    # counts in that edge's bucket.
+    h = Histogram(buckets=(1.0, 10.0))
+    h.observe(1.0)
+    assert h.buckets()[1.0] == 1
+
+
+def test_histogram_quantile_interpolates_and_saturates():
+    h = Histogram(buckets=(1.0, 2.0, 4.0))
+    for _ in range(100):
+        h.observe(1.5)
+    q = h.quantile(0.5)
+    assert 1.0 <= q <= 2.0
+    # +Inf-bucket mass saturates at the last finite edge.
+    h2 = Histogram(buckets=(1.0, 2.0))
+    for _ in range(10):
+        h2.observe(1e9)
+    assert h2.quantile(0.99) == 2.0
+    assert Histogram().quantile(0.5) == 0.0  # empty
+    with pytest.raises(ValueError, match=r"\[0, 1\]"):
+        h.quantile(1.5)
+
+
+def test_histogram_observe_many_matches_repeated_observe():
+    batched, looped = Histogram(buckets=(1.0, 10.0)), Histogram(buckets=(1.0, 10.0))
+    values = (0.5, 1.0, 5.0, 50.0)
+    batched.observe_many(values)
+    batched.observe_many((2.0,))  # singleton fast path
+    for v in values + (2.0,):
+        looped.observe(v)
+    assert batched.buckets() == looped.buckets()
+    assert batched.count == looped.count == 5
+    assert batched.sum == pytest.approx(looped.sum)
+    batched.observe_many(())  # empty batch is a no-op
+    assert batched.count == 5
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError, match="at least one bucket"):
+        Histogram(buckets=())
+    with pytest.raises(ValueError, match="duplicate"):
+        Histogram(buckets=(1.0, 1.0))
+
+
+def test_default_latency_buckets_are_log_spaced_and_sorted():
+    assert DEFAULT_LATENCY_BUCKETS_MS == tuple(sorted(DEFAULT_LATENCY_BUCKETS_MS))
+    assert DEFAULT_LATENCY_BUCKETS_MS[0] == 0.1
+    assert DEFAULT_LATENCY_BUCKETS_MS[-1] == 10000.0
+    # ~1-2-5 spacing: every step grows by at most 2.5x.
+    ratios = [
+        b / a
+        for a, b in zip(DEFAULT_LATENCY_BUCKETS_MS, DEFAULT_LATENCY_BUCKETS_MS[1:])
+    ]
+    assert all(1.0 < r <= 2.5 for r in ratios)
+
+
+# --------------------------------------------------------------------------- #
+# Registry semantics
+# --------------------------------------------------------------------------- #
+def test_registry_get_or_create_is_idempotent():
+    reg = Registry()
+    a = reg.counter("reqs_total", "help")
+    b = reg.counter("reqs_total", "different help is fine")
+    assert a is b
+
+
+def test_registry_rejects_type_and_label_redeclaration():
+    reg = Registry()
+    reg.counter("m_total")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("m_total")
+    reg.counter("labeled_total", labelnames=("server",))
+    with pytest.raises(ValueError, match="already registered"):
+        reg.counter("labeled_total", labelnames=("other",))
+
+
+def test_registry_validates_names_and_labels():
+    reg = Registry()
+    with pytest.raises(ValueError, match="invalid metric name"):
+        reg.counter("bad-name")
+    with pytest.raises(ValueError, match="invalid label name"):
+        reg.counter("ok_total", labelnames=("bad-label",))
+    with pytest.raises(ValueError, match="invalid label name"):
+        reg.counter("ok2_total", labelnames=("__reserved",))
+
+
+def test_labeled_family_caches_children_and_checks_names():
+    reg = Registry()
+    fam = reg.counter("calls_total", labelnames=("server", "bucket"))
+    c1 = fam.labels(server="srv0", bucket="64")
+    c2 = fam.labels(bucket="64", server="srv0")  # order-insensitive
+    assert c1 is c2
+    c1.inc(3)
+    assert fam.labels(server="srv0", bucket="64").value == 3.0
+    with pytest.raises(ValueError, match="takes labels"):
+        fam.labels(server="srv0")
+
+
+def test_process_default_registry_is_shared():
+    assert get_registry() is get_registry()
+
+
+# --------------------------------------------------------------------------- #
+# Exposition format (golden)
+# --------------------------------------------------------------------------- #
+def test_render_golden():
+    reg = Registry()
+    reg.counter("app_requests_total", "Total requests.").inc(3)
+    reg.gauge("app_queue_depth", "Queued requests.").set(7)
+    fam = reg.counter("app_calls_total", "Calls per bucket.",
+                      labelnames=("bucket",))
+    fam.labels(bucket="1").inc(2)
+    fam.labels(bucket="64").inc()
+    h = reg.histogram("app_latency_ms", "Latency.", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(99.0)
+    assert reg.render() == (
+        "# HELP app_calls_total Calls per bucket.\n"
+        "# TYPE app_calls_total counter\n"
+        'app_calls_total{bucket="1"} 2\n'
+        'app_calls_total{bucket="64"} 1\n'
+        "# HELP app_latency_ms Latency.\n"
+        "# TYPE app_latency_ms histogram\n"
+        'app_latency_ms_bucket{le="1"} 1\n'
+        'app_latency_ms_bucket{le="10"} 1\n'
+        'app_latency_ms_bucket{le="+Inf"} 2\n'
+        "app_latency_ms_sum 99.5\n"
+        "app_latency_ms_count 2\n"
+        "# HELP app_queue_depth Queued requests.\n"
+        "# TYPE app_queue_depth gauge\n"
+        "app_queue_depth 7\n"
+        "# HELP app_requests_total Total requests.\n"
+        "# TYPE app_requests_total counter\n"
+        "app_requests_total 3\n"
+    )
+
+
+def test_render_escapes_label_values_and_help():
+    reg = Registry()
+    reg.counter("esc_total", 'line\nbreak \\ stuff',
+                labelnames=("k",)).labels(k='a"b\\c\nd').inc()
+    out = reg.render()
+    assert '# HELP esc_total line\\nbreak \\\\ stuff' in out
+    assert 'esc_total{k="a\\"b\\\\c\\nd"} 1' in out
+
+
+def test_render_empty_registry_is_empty_string():
+    assert Registry().render() == ""
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency
+# --------------------------------------------------------------------------- #
+def test_concurrent_increments_are_exact_under_scrapes():
+    reg = Registry()
+    counter = reg.counter("conc_total")
+    hist = reg.histogram("conc_ms", buckets=(1.0, 10.0, 100.0))
+    fam = reg.counter("conc_labeled_total", labelnames=("t",))
+    threads_n, per_thread = 8, 2000
+    stop_scraping = threading.Event()
+    scrape_errors = []
+
+    def scrape():
+        while not stop_scraping.is_set():
+            try:
+                reg.render()
+            except Exception as exc:  # pragma: no cover - the assertion
+                scrape_errors.append(exc)
+                return
+
+    def work(tid):
+        child = fam.labels(t=str(tid % 2))
+        for i in range(per_thread):
+            counter.inc()
+            hist.observe(float(i % 200))
+            child.inc()
+
+    scraper = threading.Thread(target=scrape)
+    scraper.start()
+    workers = [threading.Thread(target=work, args=(t,)) for t in range(threads_n)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    stop_scraping.set()
+    scraper.join()
+
+    assert not scrape_errors
+    total = threads_n * per_thread
+    assert counter.value == total
+    assert hist.count == total
+    assert hist.buckets()[math.inf] == total
+    assert sum(c.value for _, c in fam.collect()) == total
+
+
+# --------------------------------------------------------------------------- #
+# Null registry
+# --------------------------------------------------------------------------- #
+def test_null_registry_swallows_everything():
+    c = NULL_REGISTRY.counter("whatever")
+    c.inc(100)
+    assert c.value == 0.0
+    h = NULL_REGISTRY.histogram("h")
+    h.observe(5.0)
+    assert h.count == 0 and h.quantile(0.5) == 0.0
+    g = NULL_REGISTRY.gauge("g", labelnames=("a",)).labels(a="x")
+    g.set(9)
+    g.set_function(lambda: 3.0)
+    assert g.value == 0.0
+    assert NULL_REGISTRY.render() == ""
+    assert NULL_REGISTRY.get("whatever") is None

@@ -1,0 +1,153 @@
+"""Op-level profiler: aggregation, activation scoping, hook bit-equality."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.obs.profile import (
+    Profiler,
+    active_profiler,
+    disable_profiler,
+    enable_profiler,
+    using_profiler,
+)
+from repro.serve import compile_inference
+
+
+def _mlp(rng):
+    model = nn.Sequential(
+        nn.Linear(12, 16, rng=rng),
+        nn.ReLU(),
+        nn.Linear(16, 5, rng=rng),
+    )
+    model.eval()
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# Profiler object
+# --------------------------------------------------------------------------- #
+def test_record_aggregates_calls_and_time():
+    prof = Profiler()
+    prof.record("serve:matmul", 0.010)
+    prof.record("serve:matmul", 0.030)
+    prof.record("serve:relu", 0.001)
+    stats = prof.stats()
+    assert stats["serve:matmul"]["calls"] == 2
+    assert stats["serve:matmul"]["total_ms"] == pytest.approx(40.0)
+    assert stats["serve:matmul"]["mean_us"] == pytest.approx(20000.0)
+    assert stats["serve:matmul"]["share"] == pytest.approx(40.0 / 41.0)
+    assert len(prof) == 2
+    prof.reset()
+    assert len(prof) == 0
+
+
+def test_timed_context_manager_records_once():
+    prof = Profiler()
+    with prof.timed("block"):
+        pass
+    assert prof.stats()["block"]["calls"] == 1
+
+
+def test_table_sorts_and_limits():
+    prof = Profiler()
+    prof.record("small", 0.001)
+    prof.record("big", 1.0)
+    table = prof.table()
+    lines = table.splitlines()
+    assert lines[0].split()[:2] == ["op", "calls"]
+    assert lines[2].startswith("big")
+    assert "small" in table
+    assert "small" not in prof.table(limit=1)
+    assert prof.table(sort_by="calls")
+    with pytest.raises(ValueError, match="unknown sort column"):
+        prof.table(sort_by="nope")
+    assert Profiler().table() == "(no ops recorded)"
+
+
+def test_activation_scoping():
+    assert active_profiler() is None
+    prof = enable_profiler()
+    try:
+        assert active_profiler() is prof
+    finally:
+        disable_profiler()
+    assert active_profiler() is None
+    with using_profiler() as scoped:
+        assert active_profiler() is scoped
+        with using_profiler() as inner:  # nests, restoring the outer one
+            assert active_profiler() is inner
+        assert active_profiler() is scoped
+    assert active_profiler() is None
+
+
+# --------------------------------------------------------------------------- #
+# Instrumented paths: compiled serving steps and autograd backward
+# --------------------------------------------------------------------------- #
+def test_session_run_records_serve_ops_and_stays_bit_identical():
+    rng = np.random.default_rng(0)
+    model = _mlp(rng)
+    session = compile_inference(model, np.zeros((8, 12), np.float32))
+    data = rng.standard_normal((8, 12)).astype(np.float32)
+
+    baseline = session.run(data).copy()
+    with using_profiler() as prof:
+        profiled = session.run(data).copy()
+    after = session.run(data).copy()
+
+    np.testing.assert_array_equal(baseline, profiled)
+    np.testing.assert_array_equal(baseline, after)
+    stats = prof.stats()
+    assert stats, "profiler recorded nothing"
+    assert all(op.startswith("serve:") for op in stats)
+    # Every compiled step was timed exactly once per run.
+    assert sum(s["calls"] for s in stats.values()) == session.num_steps
+
+
+def test_backward_records_backward_ops_and_grads_stay_bit_identical():
+    rng = np.random.default_rng(1)
+    model = nn.Sequential(nn.Linear(12, 16, rng=rng), nn.ReLU(),
+                          nn.Linear(16, 5, rng=rng))
+    data = rng.standard_normal((8, 12)).astype(np.float32)
+
+    model(data).sum().backward()
+    plain = [p.grad.copy() for p in model.parameters()]
+    model.zero_grad()
+
+    with using_profiler() as prof:
+        model(data).sum().backward()
+    profiled = [p.grad.copy() for p in model.parameters()]
+
+    for a, b in zip(plain, profiled):
+        np.testing.assert_array_equal(a, b)
+    stats = prof.stats()
+    assert stats
+    assert all(op.startswith("backward:") for op in stats)
+    assert "backward:matmul" in stats or "backward:linear" in stats
+
+
+def test_repro_profile_env_enables_and_reports(tmp_path):
+    # REPRO_PROFILE=1 must install a process profiler at import time and
+    # print the per-op table at exit — exercised in a subprocess.
+    import subprocess
+    import sys
+
+    code = (
+        "import numpy as np\n"
+        "from repro import nn\n"
+        "from repro.obs.profile import active_profiler\n"
+        "assert active_profiler() is not None\n"
+        "m = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(0)))\n"
+        "m(np.zeros((2, 4), np.float32)).sum().backward()\n"
+    )
+    env = {"REPRO_PROFILE": "1", "PYTHONPATH": "src"}
+    import os
+
+    env["PATH"] = os.environ.get("PATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        cwd=os.getcwd(), env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "[REPRO_PROFILE] per-op profile:" in proc.stderr
+    assert "backward:" in proc.stderr

@@ -1,0 +1,100 @@
+"""Request tracing: span ring semantics and Chrome trace-event export."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import Tracer
+
+
+def test_trace_ids_are_unique_and_rising():
+    tracer = Tracer()
+    ids = [tracer.new_trace() for _ in range(5)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+    assert all(i > 0 for i in ids)  # 0 is the "tracing off" sentinel
+
+
+def test_record_and_filter_by_trace():
+    tracer = Tracer()
+    a, b = tracer.new_trace(), tracer.new_trace()
+    tracer.record(a, "queue_wait", 1.0, 2.0)
+    tracer.record(b, "queue_wait", 1.5, 2.5)
+    tracer.record(a, "serve", 2.0, 3.0, attempt=0)
+    assert len(tracer) == 3
+    mine = tracer.spans(a)
+    assert [s.name for s in mine] == ["queue_wait", "serve"]
+    assert mine[1].args == {"attempt": 0}
+    assert mine[0].duration == pytest.approx(1.0)
+
+
+def test_ring_is_bounded_and_keeps_most_recent():
+    tracer = Tracer(capacity=10)
+    tid = tracer.new_trace()
+    for i in range(25):
+        tracer.record(tid, f"s{i}", float(i), float(i) + 0.5)
+    assert len(tracer) == 10
+    names = [s.name for s in tracer.spans()]
+    assert names == [f"s{i}" for i in range(15, 25)]
+    with pytest.raises(ValueError, match=">= 1"):
+        Tracer(capacity=0)
+
+
+def test_record_many_matches_record_and_respects_the_ring():
+    tracer = Tracer(capacity=4)
+    a, b = tracer.new_trace(), tracer.new_trace()
+    tracer.record_many([
+        (a, "queue_wait", 1.0, 2.0, None),
+        (a, "serve", 2.0, 3.0, {"attempt": 0}),
+        (b, "queue_wait", 1.5, 2.5, None),
+    ])
+    spans = tracer.spans(a)
+    assert [s.name for s in spans] == ["queue_wait", "serve"]
+    assert spans[1].args == {"attempt": 0}
+    assert spans[0].args == {}  # None args read back as an empty dict
+    assert all(s.thread for s in tracer.spans())
+    # A batch larger than the remaining capacity still keeps the newest.
+    tracer.record_many([(b, f"s{i}", float(i), float(i) + 1, None)
+                        for i in range(6)])
+    assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4", "s5"]
+
+
+def test_span_context_manager_times_the_block():
+    tracer = Tracer()
+    tid = tracer.new_trace()
+    with tracer.span(tid, "work", detail="x"):
+        time.sleep(0.002)
+    (span,) = tracer.spans(tid)
+    assert span.name == "work"
+    assert span.args == {"detail": "x"}
+    assert span.duration >= 0.002
+
+
+def test_clear_empties_the_ring():
+    tracer = Tracer()
+    tracer.record(tracer.new_trace(), "s", 0.0, 1.0)
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_chrome_trace_is_valid_trace_event_json():
+    tracer = Tracer()
+    tid = tracer.new_trace()
+    tracer.record(tid, "queue_wait", 10.0, 10.001)
+    tracer.record(tid, "serve", 10.001, 10.005, attempt=0)
+
+    doc = json.loads(json.dumps(tracer.chrome_trace()))  # round-trips
+    events = doc["traceEvents"]
+    assert len(events) == 2
+    for event in events:
+        # The complete-event shape chrome://tracing / Perfetto expect.
+        assert event["ph"] == "X"
+        assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+        assert event["dur"] >= 0
+        assert event["args"]["trace_id"] == tid
+    assert events[0]["name"] == "queue_wait"
+    # Seconds -> microseconds.
+    assert events[0]["dur"] == pytest.approx(1000.0)
+    assert events[1]["dur"] == pytest.approx(4000.0)
+    assert events[1]["args"]["attempt"] == 0
