@@ -1,41 +1,57 @@
-"""Trace-time fusion: a pattern-matching rewrite pass over the graph IR.
+"""Trace-time fusion: region extraction + pattern rewrites over the graph IR.
 
 The pass walks the node graph reachable from a root tensor (in topological
-order) and collapses matched producer→consumer chains into single fused
-nodes dispatching to the composite :class:`~repro.backend.base.ArrayBackend`
-methods:
+order) and rewrites it at two granularities:
 
-====================  ==================  =================================
-pattern               fused op            backend composite
-====================  ==================  =================================
-``linear`` → ``relu``  ``linear_relu``     :meth:`ArrayBackend.linear_relu`
-``mul`` → ``add``      ``mul_add``         :meth:`ArrayBackend.mul_add`
-``add`` → ``relu``     ``add_relu``        :meth:`ArrayBackend.add_relu`
-``batch_norm``→``relu``  ``batch_norm_relu``  :meth:`ArrayBackend.bn_normalize_relu`
-====================  ==================  =================================
+**Elementwise regions** (the general mechanism).  Maximal single-consumer
+chains of ``add``/``mul``/``div``/``neg``/``relu`` nodes — any mix, any
+length ≥ 2 — are collapsed into one ``region`` node carrying a
+:class:`~repro.codegen.region.RegionIR`.  On replay (serving) the region
+executes as **one compiled C kernel** through the backend's
+``compile_region`` fusion point (falling back to the bit-equal numpy
+interpreter arm when codegen is off or no compiler exists).  During
+training the fused backward runs the exact per-op VJP sequences of the
+original thunks in reverse order, passing interior gradients straight
+through without the per-link ownership copy the unfused engine pays.
 
-A chain is fused only when the producer's output is consumed by exactly one
+**Pattern pairs** (the composite-kernel mechanism).  ``linear → relu`` and
+``batch_norm → relu`` still fuse into ``linear_relu`` /
+``batch_norm_relu`` nodes dispatching to the backend composites: a GEMM or
+a training-mode batch norm cannot join an elementwise region, but masking
+its activation inside the composite is a real win.  The legacy
+``mul_add`` / ``add_relu`` pairs remain only as a fallback for third-party
+backends that implement the composites but not ``compile_region``; on the
+built-in backends those chains now become regions.
+
+A chain is fused only when each interior output is consumed by exactly one
 node of the walked graph, so gradient accumulation order — and therefore
-every leaf gradient — stays **bit-identical** to the unfused tape: the fused
-backward thunks run the exact op sequence of the two separate thunks, on the
+every leaf gradient — stays **bit-identical** to the unfused tape: fused
+backward thunks run the exact op sequence of the separate thunks, on the
 backends the nodes captured at trace time.  The only observable difference
-is that the fused-away intermediate tensor no longer receives a transient
-``.grad`` (it is bypassed entirely, like PyTorch's non-leaf tensors).
+is that fused-away intermediates no longer receive a transient ``.grad``
+(they are bypassed entirely, like PyTorch's non-leaf tensors).
+
+Incremental rewrite path
+------------------------
+Per-step training must not pay the full analysis on every tape: the pass
+hashes the tape's *structure* (ops, wiring, dtypes, shapes, backend) into a
+plan key and memoizes the resulting fusion plan.  Steady-state steps do one
+cheap structural scan, hit the plan cache, and apply the recorded rewrites
+directly — no consumer counting, no region discovery, no RegionIR
+rebuilding.
 
 When to run
 -----------
 - **Before ``backward()``** (automatic): with fusion enabled,
   :meth:`Tensor.backward` runs the pass once per freshly recorded graph
-  before toposorting it, so every training step backpropagates through the
-  fused chains.  Enable with the ``REPRO_FUSION`` environment variable
-  (anything but ``0/off/false/no``), programmatically with
+  before toposorting it.  Enable with the ``REPRO_FUSION`` environment
+  variable (anything but ``0/off/false/no``), programmatically with
   :func:`enable_fusion`, or scoped with :func:`using_fusion`.
-- **At trace time** (explicit): call :func:`fuse` on a freshly traced output
-  (or on the output of an :func:`repro.autograd.ir.capture` block) to
-  rewrite the graph before anything else consumes it.  The serving compiler
-  (:func:`repro.serve.compile_inference`) does exactly this, and its
-  executor then dispatches the fused *forward* composites, collapsing
-  node-dispatch and temporary-allocation overhead on the replay hot path.
+- **At trace time** (explicit): call :func:`fuse` on a freshly traced
+  output (or on the output of an :func:`repro.autograd.ir.capture` block).
+  The serving compiler (:func:`repro.serve.compile_inference`) does exactly
+  this, and its executor then runs each region as one preallocated-buffer
+  kernel step.
 
 Fused nodes register forward evaluators in the IR registry, so a fused
 captured trace replays like any other.
@@ -45,7 +61,9 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.autograd import ir
 from repro.autograd.functional import (
@@ -54,8 +72,9 @@ from repro.autograd.functional import (
     batch_norm_backward,
     linear_backward,
 )
-from repro.autograd.tensor import Tensor, _unbroadcast
+from repro.autograd.tensor import Tensor, _raise_freed_graph, _unbroadcast
 from repro.backend import get_backend
+from repro.codegen import RegionIR, RegionInput
 
 __all__ = [
     "FUSED_OPS",
@@ -66,7 +85,9 @@ __all__ = [
 ]
 
 #: Ops produced by this pass (also the keys of the fusion-count stats).
-FUSED_OPS = ("linear_relu", "mul_add", "add_relu", "batch_norm_relu")
+#: ``mul_add``/``add_relu`` appear only on backends without
+#: ``compile_region``; the built-in backends produce ``region`` instead.
+FUSED_OPS = ("linear_relu", "batch_norm_relu", "region", "mul_add", "add_relu")
 
 _FALSY = ("", "0", "off", "false", "no")
 
@@ -109,20 +130,45 @@ def _node_backend(node: ir.GraphNode):
     return node.be if node.be is not None else get_backend()
 
 
-#: Composite methods a backend must provide before its nodes may be fused.
-#: The pre-IR ``ArrayBackend`` surface did not include them, so a
-#: third-party backend that predates (or skips) the composites simply gets
-#: no fusion instead of an AttributeError mid-backward or mid-replay.
+#: Composite methods a backend must provide before its nodes may be
+#: pattern-fused.  The pre-IR ``ArrayBackend`` surface did not include
+#: them, so a third-party backend that predates (or skips) the composites
+#: simply gets no fusion instead of an AttributeError mid-backward or
+#: mid-replay.
 _COMPOSITE_METHODS = ("relu_grad", "linear_relu", "mul_add", "add_relu", "bn_normalize_relu")
+
+def _backend_caps(be) -> Tuple[bool, bool]:
+    """(supports composites, supports regions), memoized on the backend.
+
+    The probe result is stored on the instance itself so its lifetime is
+    tied to the backend object (an external ``id()``-keyed cache would go
+    stale when a test-scoped backend is collected and its id reused).
+    Capabilities are treated as static per backend, like everywhere else
+    in this module.
+    """
+    caps = getattr(be, "_repro_fusion_caps", None)
+    if caps is None:
+        caps = (
+            all(hasattr(be, method) for method in _COMPOSITE_METHODS),
+            hasattr(be, "compile_region"),
+        )
+        try:
+            be._repro_fusion_caps = caps
+        except (AttributeError, TypeError):
+            pass  # slotted/frozen third-party backend: probe every time
+    return caps
 
 
 def _supports_composites(node: ir.GraphNode) -> bool:
-    be = _node_backend(node)
-    return all(hasattr(be, method) for method in _COMPOSITE_METHODS)
+    return _backend_caps(_node_backend(node))[0]
+
+
+def _supports_regions(node: ir.GraphNode) -> bool:
+    return _backend_caps(_node_backend(node))[1]
 
 
 # --------------------------------------------------------------------------- #
-# The rewrite pass
+# Entry points
 # --------------------------------------------------------------------------- #
 def fuse(root: Tensor) -> Dict[str, int]:
     """Collapse fusable chains reachable from ``root``; returns counts per op.
@@ -130,8 +176,8 @@ def fuse(root: Tensor) -> Dict[str, int]:
     Safe to call on any traced tensor: training graphs (backward thunks are
     fused too) and captured ``no_grad`` traces (forward-only nodes) alike.
     Tensors shared with *other* graphs are never mutated — a fused chain
-    bypasses its producer node rather than rewriting it, so other consumers
-    of the producer's output keep working.
+    bypasses its producer nodes rather than rewriting them, so other
+    consumers of an interior output keep working.
     """
     root_node = root._node
     if root_node is None:
@@ -145,11 +191,11 @@ def fuse(root: Tensor) -> Dict[str, int]:
 def fuse_for_backward(root: Tensor):
     """The pass as ``backward()`` invokes it: returns a reusable topo list.
 
-    Each rewrite splices the fused node into the consumer's slot of the
-    pass's own topological walk (and blanks the bypassed producer's slot),
-    so the post-rewrite order is returned ready to run — ``backward()``
-    never walks the graph a second time.  ``None`` only when there is no
-    graph at all.
+    Each rewrite splices the fused node into the region/pattern head's slot
+    of the pass's own topological walk (and blanks the bypassed members'
+    slots), so the post-rewrite order is returned ready to run —
+    ``backward()`` never walks the graph a second time.  ``None`` only when
+    there is no graph at all.
     """
     root_node = root._node
     if root_node is None:
@@ -158,16 +204,207 @@ def fuse_for_backward(root: Tensor):
     return _fuse_nodes(nodes, root)[1]
 
 
-def _fuse_nodes(nodes, root: Tensor):
-    """Pattern-match and rewrite over a prebuilt topological node list.
+# --------------------------------------------------------------------------- #
+# The plan cache (incremental rewrite path)
+# --------------------------------------------------------------------------- #
+#: Structural plan key -> fusion plan.  A training loop records the same
+#: tape every step; after the first step the analysis (consumer counting,
+#: eligibility, region discovery, RegionIR construction) is skipped and the
+#: memoized plan is applied directly.
+_PLAN_CACHE: Dict[tuple, list] = {}
+_PLAN_CACHE_LIMIT = 64
 
-    Returns ``(counts, topo)`` where ``topo`` is the post-rewrite
-    topological order: a fused node takes its consumer's slot (its inputs
-    are the bypassed producer's inputs, all of which precede the producer,
-    which precedes the consumer — so the order stays valid), and the
-    producer's slot is dropped.
+
+def _plan_key(nodes) -> Optional[tuple]:
+    """Structural identity of a topo list, or ``None`` when uncacheable.
+
+    Captures op names and wiring (producer positions / leaf identity
+    classes) — enough to make consumer counts, and therefore every
+    *shape*-independent analysis decision, identical between two graphs
+    with equal keys.  Everything else a plan depends on (dtypes, backend
+    capabilities, relu masks) is re-validated per plan entry by
+    :func:`_plan_applies`, whose cost is bounded by the plan size rather
+    than the tape size: this function is the per-step hot path, so it
+    deliberately reads nothing but ``op`` and the input links.
     """
+    # One flat mixed tuple: each node contributes its op string followed by
+    # its source codes (ints).  Op strings delimit the int runs, so the
+    # encoding stays injective without per-node tuples — one allocation for
+    # the whole key instead of two per node.
+    key = []
+    append = key.append
+    node_pos: Dict[int, int] = {}
+    leaf_ids: Dict[int, int] = {}
+    pos_get = node_pos.get
+    leaf_default = leaf_ids.setdefault
+    idx = 0
+    for node in nodes:
+        if node.out is None:
+            return None  # partially freed graph: let the full analysis cope
+        append(node.op)
+        for t in node.inputs:
+            p = t._node
+            if p is not None:
+                pos = pos_get(id(p))
+                if pos is not None:
+                    append(pos)
+                    continue
+            append(-1 - leaf_default(id(t), len(leaf_ids)))
+        node_pos[id(node)] = idx
+        idx += 1
+    return tuple(key)
+
+
+def _fuse_nodes(nodes, root: Tensor):
+    """Rewrite a prebuilt topological node list; returns ``(counts, topo)``.
+
+    ``topo`` is the post-rewrite topological order: a fused node takes the
+    head's slot (its inputs all precede the earliest member, so the order
+    stays valid) and every other member's slot is dropped.
+    """
+    key = _plan_key(nodes)
+    plan = _PLAN_CACHE.get(key) if key is not None else None
+    if plan is None or not _plan_applies(plan, nodes):
+        plan = _build_plan(nodes, root)
+        if key is not None:
+            if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+                _PLAN_CACHE.clear()
+            _PLAN_CACHE[key] = plan
+    counts = _apply_plan(plan, nodes)
+    if counts:
+        nodes = [n for n in nodes if n is not None]
+    return counts, nodes
+
+
+def _freeze_plan(entries: list) -> tuple:
+    """Pack plan entries with their rewrite counts (counts depend only on
+    the plan, so they are computed once here instead of on every apply)."""
     counts: Dict[str, int] = {}
+    for entry in entries:
+        kind = entry[0]
+        counts[kind] = counts.get(kind, 0) + 1
+    return entries, counts
+
+
+#: Expected (producer_op, consumer_op) per pattern kind.  The structural
+#: key already guarantees these match; re-checked here as cheap insurance.
+_PATTERN_OPS = {
+    "linear_relu": ("linear", "relu"),
+    "batch_norm_relu": ("batch_norm", "relu"),
+    "add_relu": ("add", "relu"),
+    "mul_add": ("mul", "add"),
+}
+
+
+def _plan_applies(plan, nodes) -> bool:
+    """Validate a key-matched plan against this graph instance.
+
+    The structural key guarantees ops and wiring — and wiring fixes the
+    consumer counts, so the single-consumer precondition of every fusion
+    below holds whenever the key matches.  What the key deliberately
+    dropped for speed is re-checked here, bounded by the *plan* size rather
+    than the tape size: dtypes (head output + external inputs pin the whole
+    region cone by promotion), backend capabilities and identity, and relu
+    mask availability.  Shapes need no check — training backward reads live
+    data, and captured-region replay respecializes by shape at evaluation
+    time.  A miss falls back to full analysis.
+    """
+    try:
+        for entry in plan[0]:
+            kind = entry[0]
+            if kind == "region":
+                _, member_pos, _routes, region, ext_locs = entry
+                head = nodes[member_pos[-1]]
+                data = head.out.data
+                if not isinstance(data, np.ndarray) or data.dtype != region.out_dtype:
+                    return False
+                be = _node_backend(head)
+                if not _backend_caps(be)[1]:
+                    return False
+                # Ops need no re-check — the structural key pins them; only
+                # what the key dropped (backend identity, mask presence) is
+                # validated per member.
+                for pos in member_pos:
+                    node = nodes[pos]
+                    if _node_backend(node) is not be:
+                        return False
+                    if node.op == "relu" and node.backward is not None:
+                        attrs = node.attrs
+                        if not attrs or "mask" not in attrs:
+                            return False
+                for s, (j, i) in enumerate(ext_locs):
+                    td = nodes[member_pos[j]].inputs[i].data
+                    if (
+                        not isinstance(td, np.ndarray)
+                        or td.dtype != region.inputs[s].dtype
+                    ):
+                        return False
+            else:
+                producer, consumer = nodes[entry[1]], nodes[entry[2]]
+                if producer.op != _PATTERN_OPS[kind][0]:
+                    return False
+                if not (
+                    _supports_composites(producer)
+                    and _supports_composites(consumer)
+                ):
+                    return False
+                if kind in ("add_relu", "mul_add") and _supports_regions(consumer):
+                    return False
+    except (AttributeError, IndexError, TypeError):
+        # Freed nodes or a structurally stale plan: rebuild from scratch.
+        return False
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# Analysis: build a fusion plan from one topo walk
+# --------------------------------------------------------------------------- #
+#: Graph ops an elementwise region may absorb.  Restricted to ops whose C
+#: scalar form is bit-equal to the numpy ufunc (see repro.codegen.region);
+#: ``sub`` never appears as a node (a - b records add(a, neg(b))).
+_REGION_NODE_OPS = frozenset(("add", "mul", "div", "neg", "relu"))
+
+_F32 = np.dtype(np.float32)
+_F64 = np.dtype(np.float64)
+
+#: Cap on ops per region: bounds generated-C size and compile time; a chain
+#: longer than this splits into one region plus eager stragglers.
+_MAX_REGION = 32
+
+
+def _region_eligible(node, cache: dict) -> bool:
+    flag = cache.get(id(node))
+    if flag is None:
+        flag = _compute_region_eligible(node)
+        cache[id(node)] = flag
+    return flag
+
+
+def _compute_region_eligible(node) -> bool:
+    if node.op not in _REGION_NODE_OPS or node.out is None:
+        return False
+    data = node.out.data
+    if not isinstance(data, np.ndarray) or data.dtype not in (_F32, _F64):
+        return False
+    for t in node.inputs:
+        td = t.data
+        if not isinstance(td, np.ndarray) or td.dtype != data.dtype:
+            return False
+    if not _supports_regions(node):
+        return False
+    if node.op == "relu" and node.backward is not None:
+        attrs = node.attrs
+        if not attrs or "mask" not in attrs:
+            return False
+    return True
+
+
+def _build_plan(nodes, root: Tensor) -> list:
+    """Full analysis over one topo list: pattern pairs first (a GEMM or a
+    batch norm cannot join an elementwise region, and masking the relu
+    inside the composite is the bigger win), then maximal regions over the
+    remaining eligible nodes."""
+    plan: list = []
     node_ids = {id(n) for n in nodes}
     position = {id(n): i for i, n in enumerate(nodes)}
     consumers: Dict[int, int] = {}
@@ -175,82 +412,366 @@ def _fuse_nodes(nodes, root: Tensor):
         for t in node.inputs:
             consumers[id(t)] = consumers.get(id(t), 0) + 1
 
-    # Topological order makes the pass deterministic: in a mul→add→relu
-    # chain the mul+add pair is seen (and fused) first, and the later relu
-    # no longer matches because its producer is now a fused op.
-    for i in range(len(nodes)):
-        node = nodes[i]
-        if node is None or node.out is None:
-            # Spliced out by an earlier rewrite, or freed (this graph was
-            # already backward-ed / shares a freed subgraph): nothing to
-            # rewrite — backward() will hit the raising sentinel if needed.
+    claimed: set = set()
+
+    def fusable_producer(tensor: Tensor) -> Optional[ir.GraphNode]:
+        node = tensor._node
+        if node is None or id(node) not in node_ids or id(node) in claimed:
+            return None
+        if node.out is None:
+            # Freed by another root's backward over a shared subgraph: its
+            # inputs/attrs are gone.  Leave it so backward() reaches the
+            # freed-graph sentinel instead of the rewrite crashing.
+            return None
+        if tensor is root:
+            return None
+        if consumers.get(id(tensor)) != 1:
+            return None
+        return node
+
+    # ---- pattern pairs (topo order keeps the pass deterministic) -------- #
+    for i, node in enumerate(nodes):
+        if id(node) in claimed or node.out is None:
             continue
-        producer = None
         if node.op == "relu":
-            producer = _fusable_producer(node.inputs[0], root, node_ids, consumers)
-            if producer is None:
-                continue
-            if not (_supports_composites(node) and _supports_composites(producer)):
+            producer = fusable_producer(node.inputs[0])
+            if producer is None or not (
+                _supports_composites(node) and _supports_composites(producer)
+            ):
                 continue
             if producer.op == "linear":
-                _rewrite_linear_relu(producer, node)
-            elif producer.op == "add":
-                _rewrite_add_relu(producer, node)
+                entry = ("linear_relu", position[id(producer)], i)
             elif producer.op == "batch_norm":
-                _rewrite_batch_norm_relu(producer, node)
+                entry = ("batch_norm_relu", position[id(producer)], i)
+            elif producer.op == "add" and not _supports_regions(node):
+                entry = ("add_relu", position[id(producer)], i)
             else:
                 continue
-        elif node.op == "add":
+            plan.append(entry)
+            claimed.add(id(producer))
+            claimed.add(id(node))
+        elif node.op == "add" and not _supports_regions(node):
             for side in (0, 1):
-                candidate = _fusable_producer(node.inputs[side], root, node_ids, consumers)
+                candidate = fusable_producer(node.inputs[side])
                 if (
                     candidate is not None
                     and candidate.op == "mul"
                     and _supports_composites(node)
                     and _supports_composites(candidate)
                 ):
-                    producer = candidate
-                    _rewrite_mul_add(producer, node, side)
+                    plan.append(("mul_add", position[id(candidate)], i, side))
+                    claimed.add(id(candidate))
+                    claimed.add(id(node))
                     break
-            if producer is None:
-                continue
-        else:
+
+    # ---- elementwise regions ------------------------------------------- #
+    cache: dict = {}
+    absorbed: set = set()
+    edges: Dict[int, List[ir.GraphNode]] = {}
+    for node in nodes:
+        if id(node) in claimed or not _region_eligible(node, cache):
             continue
-        fused = node.out._node
-        counts[fused.op] = counts.get(fused.op, 0) + 1
-        nodes[i] = fused
-        nodes[position[id(producer)]] = None
-    if counts:
-        nodes = [n for n in nodes if n is not None]
-    return counts, nodes
+        be = _node_backend(node)
+        for t in node.inputs:
+            producer = fusable_producer(t)
+            if (
+                producer is not None
+                and id(producer) not in claimed
+                and _region_eligible(producer, cache)
+                and _node_backend(producer) is be
+            ):
+                absorbed.add(id(producer))
+                edges.setdefault(id(node), []).append(producer)
+
+    for node in nodes:
+        if (
+            id(node) in claimed
+            or id(node) in absorbed
+            or not _region_eligible(node, cache)
+        ):
+            continue
+        members = _collect_members(node, edges, position)
+        if len(members) < 2:
+            continue
+        plan.append(_region_recipe(members, position))
+    return _freeze_plan(plan)
 
 
-def _fusable_producer(
-    tensor: Tensor, root: Tensor, node_ids: set, consumers: Dict[int, int]
-) -> Optional[ir.GraphNode]:
-    """The producer node of ``tensor`` if it may be fused away, else ``None``.
+def _collect_members(head, edges, position) -> list:
+    """All nodes absorbed (transitively) into ``head``, in topo order with
+    the head last.  Capped at ``_MAX_REGION``; excluded producers simply
+    stay eager and feed the region as external inputs."""
+    members = [head]
+    stack = [head]
+    while stack and len(members) < _MAX_REGION:
+        node = stack.pop()
+        for producer in edges.get(id(node), ()):
+            if len(members) >= _MAX_REGION:
+                break
+            members.append(producer)
+            stack.append(producer)
+    members.sort(key=lambda n: position[id(n)])
+    return members
 
-    Requirements: the producer must belong to the walked graph (same
-    gradient-tracking mode, not already rewritten), must not be the root,
-    and its output must be consumed exactly once — a second consumer would
-    change gradient accumulation order (breaking bit-exactness) or lose the
-    intermediate value another part of the graph still needs.
+
+def _region_recipe(members, position) -> tuple:
+    """One plan entry: member positions, per-member grad routes, the
+    RegionIR, and where each external input tensor lives."""
+    member_index = {id(m): j for j, m in enumerate(members)}
+    member_set = frozenset(member_index)
+    routes = []
+    ext_slot: Dict[int, int] = {}
+    ext_locs: List[Tuple[int, int]] = []
+    prog = []
+    for j, m in enumerate(members):
+        route = []
+        srcs = []
+        for i, t in enumerate(m.inputs):
+            p = t._node
+            if p is not None and id(p) in member_set:
+                k = member_index[id(p)]
+                route.append(k)
+                srcs.append(("m", k))
+            else:
+                route.append(-1)
+                s = ext_slot.get(id(t))
+                if s is None:
+                    s = len(ext_locs)
+                    ext_slot[id(t)] = s
+                    ext_locs.append((j, i))
+                srcs.append(("e", s))
+        routes.append(tuple(route))
+        prog.append((m.op, tuple(srcs)))
+
+    n_ext = len(ext_locs)
+    ops = [
+        (op, tuple(n_ext + s if tag == "m" else s for tag, s in srcs))
+        for op, srcs in prog
+    ]
+    ext_tensors = [members[j].inputs[i] for j, i in ext_locs]
+    out = members[-1].out
+    region = RegionIR(
+        [RegionInput(t.data.dtype, t.data.shape) for t in ext_tensors],
+        ops,
+        out.data.shape,
+        out.data.dtype,
+    )
+    return (
+        "region",
+        tuple(position[id(m)] for m in members),
+        tuple(routes),
+        region,
+        tuple(ext_locs),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Application: execute a plan over a (possibly fresh) topo list
+# --------------------------------------------------------------------------- #
+def _apply_plan(plan, nodes) -> Dict[str, int]:
+    for entry in plan[0]:
+        kind = entry[0]
+        if kind == "region":
+            _apply_region(entry, nodes)
+        else:
+            p_pos, c_pos = entry[1], entry[2]
+            producer, consumer = nodes[p_pos], nodes[c_pos]
+            if kind == "linear_relu":
+                _rewrite_linear_relu(producer, consumer)
+            elif kind == "batch_norm_relu":
+                _rewrite_batch_norm_relu(producer, consumer)
+            elif kind == "add_relu":
+                _rewrite_add_relu(producer, consumer)
+            else:
+                _rewrite_mul_add(producer, consumer, entry[3])
+            nodes[c_pos] = consumer.out._node
+            nodes[p_pos] = None
+    # Copy: callers may keep the counts dict; the original lives in the
+    # cached plan and must stay untouched.
+    return dict(plan[1])
+
+
+def _apply_region(entry, nodes) -> None:
+    """Splice one fused ``region`` node over its members.
+
+    The fused node takes the head's topo slot; every member (head included)
+    is recorded on ``bypassed`` so ``backward()`` frees them with the fused
+    node, keeping the freed-graph sentinel semantics of the unfused chain.
     """
-    node = tensor._node
-    if node is None or id(node) not in node_ids:
-        return None
-    if node.out is None:
-        # Freed by another root's backward over a shared subgraph: its
-        # inputs/attrs are gone.  Leave it so backward() reaches the
-        # freed-graph sentinel instead of the rewrite crashing.
-        return None
-    if tensor is root:
-        return None
-    if consumers.get(id(tensor)) != 1:
-        return None
-    return node
+    _, member_pos, routes, region, ext_locs = entry
+    members = [nodes[p] for p in member_pos]
+    head = members[-1]
+    out_t = head.out
+    ext_tensors = tuple(members[j].inputs[i] for j, i in ext_locs)
+    be = _node_backend(head)
+    fused = ir.GraphNode(
+        "region", ext_tensors, {"region": region, "size": len(members)}, out_t, be=be
+    )
+    if head.backward is not None:
+        fused.backward = _region_backward(members, routes, out_t, be)
+    fused.bypassed = tuple(members)
+    out_t._node = fused
+    nodes[member_pos[-1]] = fused
+    for pos in member_pos[:-1]:
+        nodes[pos] = None
 
 
+def _region_backward(members, routes, out_t: Tensor, be):
+    """The chained-VJP backward for one region.
+
+    Runs the exact per-op gradient sequences of the original thunks, in
+    reverse member order.  Interior gradients (single-consumer by
+    construction) are passed straight through ``grads`` without the
+    ownership copy ``_accumulate`` would have made — the copy is
+    value-preserving, so skipping it keeps every leaf gradient
+    bit-identical while saving one full-array copy per interior link.
+    External tensors go through the original ``_accumulate_*`` calls, which
+    copy on first contribution, so shared buffers are never mutated.
+    """
+    n = len(members)
+
+    def _backward() -> None:
+        for m in members:
+            if m.out is None:
+                # A member shared with another graph was freed by that
+                # graph's backward: same sentinel the unfused tape hits.
+                _raise_freed_graph()
+        # ``own[j]``: grads[j] is a private buffer this thunk allocated and
+        # nothing else references — interior links may then compute the
+        # next gradient *in place* (same op, same operands, only the
+        # destination changes, so every value stays bit-identical) instead
+        # of allocating a fresh full-size array per link.  The head slot is
+        # the caller's accumulated grad and external contributions are
+        # handed to ``_accumulate_*`` (which copy or adopt fresh buffers),
+        # so neither is ever mutated here.
+        grads: List[Optional[np.ndarray]] = [None] * n
+        own = [False] * n
+        grads[n - 1] = out_t.grad
+        for j in range(n - 1, -1, -1):
+            g = grads[j]
+            m = members[j]
+            op = m.op
+            ins = m.inputs
+            route = routes[j]
+            writable = own[j] and type(g) is np.ndarray
+            if op == "add":
+                alias = -1
+                for i in (0, 1):
+                    t = ins[i]
+                    k = route[i]
+                    if k >= 0:
+                        red = _unbroadcast(g, t.data.shape)
+                        grads[k] = red
+                        if red is g:
+                            if alias < 0:
+                                alias = k
+                                own[k] = own[j]
+                            else:
+                                # both sides alias one buffer: neither owns it
+                                own[alias] = own[k] = False
+                        else:
+                            own[k] = True
+                    elif t.requires_grad:
+                        t._accumulate_bcast(g)
+            elif op == "mul":
+                a_t, b_t = ins
+                ka, kb = route
+                # External sides read the original ``g``; they run before
+                # any in-place mutation for an interior side.  a-then-b
+                # accumulation order is preserved for shared tensors.
+                if ka < 0 and a_t.requires_grad:
+                    a_t._accumulate_fresh(
+                        _unbroadcast(be.multiply(g, b_t.data), a_t.data.shape)
+                    )
+                if kb < 0 and b_t.requires_grad:
+                    b_t._accumulate_fresh(
+                        _unbroadcast(be.multiply(g, a_t.data), b_t.data.shape)
+                    )
+                if ka >= 0 and kb >= 0:
+                    # both interior (tree): second side fresh, then first in place
+                    grads[kb] = _unbroadcast(be.multiply(g, a_t.data), b_t.data.shape)
+                    own[kb] = True
+                if ka >= 0:
+                    if writable:
+                        np.multiply(g, b_t.data, out=g)
+                        grads[ka] = _unbroadcast(g, a_t.data.shape)
+                    else:
+                        grads[ka] = _unbroadcast(
+                            be.multiply(g, b_t.data), a_t.data.shape
+                        )
+                    own[ka] = True
+                elif kb >= 0:
+                    if writable:
+                        np.multiply(g, a_t.data, out=g)
+                        grads[kb] = _unbroadcast(g, b_t.data.shape)
+                    else:
+                        grads[kb] = _unbroadcast(
+                            be.multiply(g, a_t.data), b_t.data.shape
+                        )
+                    own[kb] = True
+            elif op == "relu":
+                t = ins[0]
+                k = route[0]
+                mask = m.attrs["mask"]
+                if k >= 0:
+                    if writable:
+                        np.multiply(g, mask, out=g)
+                        grads[k] = g
+                    else:
+                        grads[k] = be.multiply(g, mask)
+                    own[k] = True
+                elif t.requires_grad:
+                    t._accumulate_fresh(be.multiply(g, mask))
+            elif op == "neg":
+                t = ins[0]
+                k = route[0]
+                if k >= 0:
+                    if writable:
+                        np.negative(g, out=g)
+                        grads[k] = g
+                    else:
+                        grads[k] = be.negative(g)
+                    own[k] = True
+                elif t.requires_grad:
+                    t._accumulate_fresh(be.negative(g))
+            else:  # div
+                a_t, b_t = ins
+                ka, kb = route
+                gb = None
+                if kb >= 0 or b_t.requires_grad:
+                    # needs the original ``g``: computed before the a-side
+                    # may mutate it, accumulated in the original order below
+                    gb = _unbroadcast(
+                        be.divide(
+                            be.multiply(be.negative(g), a_t.data),
+                            be.power(b_t.data, 2.0),
+                        ),
+                        b_t.data.shape,
+                    )
+                if ka >= 0:
+                    if writable:
+                        np.divide(g, b_t.data, out=g)
+                        grads[ka] = _unbroadcast(g, a_t.data.shape)
+                    else:
+                        grads[ka] = _unbroadcast(be.divide(g, b_t.data), a_t.data.shape)
+                    own[ka] = True
+                elif a_t.requires_grad:
+                    a_t._accumulate_fresh(
+                        _unbroadcast(be.divide(g, b_t.data), a_t.data.shape)
+                    )
+                if kb >= 0:
+                    grads[kb] = gb
+                    own[kb] = True
+                elif gb is not None:
+                    b_t._accumulate_fresh(gb)
+            grads[j] = None
+
+    return _backward
+
+
+# --------------------------------------------------------------------------- #
+# Pattern rewrites (shared with the legacy composite path)
+# --------------------------------------------------------------------------- #
 def _install(producer: ir.GraphNode, consumer: ir.GraphNode, fused: ir.GraphNode) -> None:
     """Hang ``fused`` on the consumer's output tensor, bypassing both nodes.
 
@@ -266,12 +787,18 @@ def _install(producer: ir.GraphNode, consumer: ir.GraphNode, fused: ir.GraphNode
     consumer.out._node = fused
 
 
+def _relu_mask(C: ir.GraphNode):
+    """The relu mask, if the consumer recorded one (grad-tracking traces
+    only; no-grad captures skip the mask and never run a backward)."""
+    return C.attrs["mask"] if C.attrs else None
+
+
 def _rewrite_linear_relu(P: ir.GraphNode, C: ir.GraphNode) -> None:
     """linear → relu  ⇒  linear_relu (one node, three backward GEMM/sum ops)."""
     x_t, w_t = P.inputs[0], P.inputs[1]
     b_t = P.inputs[2] if len(P.inputs) == 3 else None
     out_t = C.out
-    mask = C.attrs["mask"]
+    mask = _relu_mask(C)
     pbe, cbe = _node_backend(P), _node_backend(C)
     fused = ir.GraphNode("linear_relu", P.inputs, {"mask": mask}, out_t, be=pbe)
     if C.backward is not None:
@@ -319,7 +846,7 @@ def _rewrite_add_relu(P: ir.GraphNode, C: ir.GraphNode) -> None:
     """add → relu  ⇒  add_relu (one node, one masked grad fanned out)."""
     a_t, b_t = P.inputs
     out_t = C.out
-    mask = C.attrs["mask"]
+    mask = _relu_mask(C)
     cbe = _node_backend(C)
     fused = ir.GraphNode("add_relu", (a_t, b_t), {"mask": mask}, out_t, be=_node_backend(P))
     if C.backward is not None:
@@ -337,7 +864,7 @@ def _rewrite_add_relu(P: ir.GraphNode, C: ir.GraphNode) -> None:
 def _rewrite_batch_norm_relu(P: ir.GraphNode, C: ir.GraphNode) -> None:
     """batch_norm → relu  ⇒  batch_norm_relu (masked grad into the bn adjoint)."""
     out_t = C.out
-    mask = C.attrs["mask"]
+    mask = _relu_mask(C)
     pa = P.attrs
     x_t = P.inputs[0]
     w_t = P.inputs[1] if pa["has_weight"] else None
@@ -364,6 +891,28 @@ def _rewrite_batch_norm_relu(P: ir.GraphNode, C: ir.GraphNode) -> None:
 # --------------------------------------------------------------------------- #
 # Forward evaluators for the fused ops (graph replay / serving)
 # --------------------------------------------------------------------------- #
+def _region_for_arrays(region: RegionIR, inputs):
+    """``region``, respecialized if the replay arrays changed shape (a
+    captured trace replayed over a different batch size)."""
+    dyn = [inp for inp in region.inputs if inp.const is None]
+    if all(a.shape == inp.shape for a, inp in zip(inputs, dyn)):
+        return region
+    return region.respecialize([a.shape for a in inputs])
+
+
+@ir.register_forward("region")
+def _eval_region(be, inputs, attrs):
+    region = _region_for_arrays(attrs["region"], inputs)
+    compiler = getattr(be, "compile_region", None)
+    if compiler is None:
+        return region.interpret(inputs)
+    cached = attrs.get("_kernel")
+    if cached is None or cached[0] is not region:
+        cached = (region, compiler(region))
+        attrs["_kernel"] = cached
+    return cached[1](inputs)
+
+
 @ir.register_forward("linear_relu")
 def _eval_linear_relu(be, inputs, attrs):
     return be.linear_relu(inputs[0], inputs[1], inputs[2] if len(inputs) == 3 else None)

@@ -83,7 +83,23 @@ def _as_array(value: ArrayLike, dtype=np.float32) -> np.ndarray:
         if value.dtype != dtype:
             return value.astype(dtype)
         return value
+    if getattr(value, "_repro_lazy", False) and value.dtype == dtype:
+        # A deferred array from the lazy backend: adopt it unforced so the
+        # elementwise chain keeps growing; any np.asarray here would flush
+        # the region one op at a time.
+        return value
     return np.asarray(value, dtype=dtype)
+
+
+def _capturing() -> bool:
+    """Whether a :func:`repro.autograd.ir.capture` block is recording.
+
+    Structural-op attr dicts (reshape/transpose/sum/... parameters) exist
+    solely for captured-trace replay — training backward closes over the
+    values directly — so the hot ops build them only inside a capture
+    block, shaving the per-node dict allocation off every training step.
+    """
+    return _ir._CAPTURE is not None
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -129,8 +145,9 @@ def _free_node(node) -> None:
         node.bypassed = None
         if not extra:
             return
-        # Each rewrite bypasses exactly one producer today; loop in case a
-        # future pass chains deeper, recursing only on true fan-out.
+        # Pattern rewrites bypass one producer; region rewrites bypass the
+        # whole member chain.  Loop on the first entry, recurse only on
+        # true fan-out.
         for sub in extra[1:]:
             _free_node(sub)
         node = extra[0]
@@ -147,6 +164,20 @@ def _get_fusion():
 
         _fusion_module = fusion
     return _fusion_module
+
+
+_lazy_module = None
+
+
+def _get_lazy():
+    """Lazy import of :mod:`repro.backend.lazy` (only loaded when a
+    backward pass needs to pause deferral)."""
+    global _lazy_module
+    if _lazy_module is None:
+        from repro.backend import lazy
+
+        _lazy_module = lazy
+    return _lazy_module
 
 
 _profile_module = None
@@ -238,16 +269,25 @@ class Tensor:
         return self.data.dtype
 
     def numpy(self) -> np.ndarray:
-        """Return the underlying numpy array (no copy)."""
-        return self.data
+        """Return the underlying numpy array (no copy).
+
+        Forces (and swaps in) the concrete array when the lazy backend left
+        a deferred region here — ``.data`` reads are a region flush point.
+        """
+        data = self.data
+        if getattr(data, "_repro_lazy", False):
+            data = np.asarray(data)
+            self.data = data
+        return data
 
     def item(self) -> float:
-        if self.data.size != 1:
+        data = self.numpy()
+        if data.size != 1:
             raise ValueError(
                 f"item() only works on tensors with exactly one element, "
                 f"got shape {self.shape}"
             )
-        return float(self.data.item())
+        return float(data.item())
 
     # Node views: the recorded graph lives in ``_node``; these read-only
     # views keep the historical tape attribute names working.
@@ -495,7 +535,7 @@ class Tensor:
 
         return self._make(
             be.power(self.data, exponent), (self,), "pow", make_backward,
-            attrs={"exponent": exponent}, be=be,
+            attrs={"exponent": exponent} if _capturing() else None, be=be,
         )
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
@@ -583,7 +623,15 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def relu(self) -> "Tensor":
         be = get_backend()
-        mask = self.data > 0
+        # The mask is a gradient-only artifact: computing it in inference
+        # would both waste a full-size compare and force a lazy-backend
+        # chain mid-region, so it exists only when a backward will.
+        if _GRAD_ENABLED and self.requires_grad:
+            mask = self.data > 0
+            attrs = {"mask": mask}
+        else:
+            mask = None
+            attrs = None
 
         def make_backward(out: "Tensor") -> Callable[[], None]:
             def _backward() -> None:
@@ -594,7 +642,7 @@ class Tensor:
 
         return self._make(
             be.relu(self.data), (self,), "relu", make_backward,
-            attrs={"mask": mask}, be=be,
+            attrs=attrs, be=be,
         )
 
     def sigmoid(self) -> "Tensor":
@@ -645,7 +693,8 @@ class Tensor:
 
         return self._make(
             be.sum(self.data, axis=axis, keepdims=keepdims), (self,), "sum", make_backward,
-            attrs={"axis": axis, "keepdims": keepdims}, be=be,
+            attrs={"axis": axis, "keepdims": keepdims} if _capturing() else None,
+            be=be,
         )
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -677,7 +726,7 @@ class Tensor:
 
         return self._make(
             self.data.reshape(shape), (self,), "reshape", make_backward,
-            attrs={"shape": shape},
+            attrs={"shape": shape} if _capturing() else None,
         )
 
     def transpose(self, *axes) -> "Tensor":
@@ -699,7 +748,7 @@ class Tensor:
 
         return self._make(
             self.data.transpose(axes), (self,), "transpose", make_backward,
-            attrs={"axes": axes},
+            attrs={"axes": axes} if _capturing() else None,
         )
 
     def flatten(self, start_dim: int = 1) -> "Tensor":
@@ -721,7 +770,7 @@ class Tensor:
 
         return self._make(
             self.data[index], (self,), "getitem", make_backward,
-            attrs={"index": index},
+            attrs={"index": index} if _capturing() else None,
         )
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -747,7 +796,8 @@ class Tensor:
 
         return self._make(
             result, (self,), "max", make_backward,
-            attrs={"axis": axis, "keepdims": keepdims}, be=be,
+            attrs={"axis": axis, "keepdims": keepdims} if _capturing() else None,
+            be=be,
         )
 
     # ------------------------------------------------------------------ #
@@ -879,22 +929,32 @@ class Tensor:
                 out.grad = None
         self.grad = seed
 
-        profiler = _get_profile().active_profiler()
-        if profiler is None:
-            for node in reversed(topo):
-                backward_fn = node.backward
-                if backward_fn is not None:
-                    backward_fn()
-        else:
-            # Timing-only instrumentation: the same thunks run in the same
-            # order, so gradients stay bit-identical with profiling on.
-            perf = time.perf_counter
-            for node in reversed(topo):
-                backward_fn = node.backward
-                if backward_fn is not None:
-                    start = perf()
-                    backward_fn()
-                    profiler.record("backward:" + node.op, perf() - start)
+        # Gradient math must produce concrete arrays: under the lazy
+        # backend, deferring VJP ops would interleave half-built gradient
+        # regions with the in-place accumulation buffers, so deferral is
+        # paused for the duration of the thunk loop.
+        lazy = _get_lazy()
+        prev_defer = lazy.set_deferral(False)
+        try:
+            profiler = _get_profile().active_profiler()
+            if profiler is None:
+                for node in reversed(topo):
+                    backward_fn = node.backward
+                    if backward_fn is not None:
+                        backward_fn()
+            else:
+                # Timing-only instrumentation: the same thunks run in the
+                # same order, so gradients stay bit-identical with
+                # profiling on.
+                perf = time.perf_counter
+                for node in reversed(topo):
+                    backward_fn = node.backward
+                    if backward_fn is not None:
+                        start = perf()
+                        backward_fn()
+                        profiler.record("backward:" + node.op, perf() - start)
+        finally:
+            lazy.set_deferral(prev_defer)
 
         if retain_graph:
             self._topo = topo

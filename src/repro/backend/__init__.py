@@ -4,7 +4,7 @@ Every numerical operation in the stack — the dense kernels in
 :mod:`repro.autograd.functional`, the elementwise ops on
 :class:`~repro.autograd.tensor.Tensor`, the optimizer update rules in
 :mod:`repro.nn.optim` — dispatches through the *active backend*, an object
-implementing the :class:`~repro.backend.base.ArrayBackend` protocol.  Two
+implementing the :class:`~repro.backend.base.ArrayBackend` protocol.  Three
 backends are built in:
 
 - ``numpy`` — :class:`~repro.backend.numpy_backend.NumpyBackend`, the plain
@@ -15,6 +15,10 @@ backends are built in:
   operations with elementwise chains collapsed into in-place updates on one
   or two buffers (the ROADMAP's op-fusion direction, delivered below the
   tape so the autograd graph is unchanged).
+- ``lazy`` — :class:`~repro.backend.lazy.LazyBackend`, which defers the
+  elementwise primitives into pending expression DAGs and flushes each one
+  as a single codegen region kernel at forced points (contractions,
+  reductions, ``.data`` reads).
 
 Select a backend process-wide with :func:`set_backend`, temporarily with the
 :func:`use_backend` context manager, or at startup with the
@@ -27,6 +31,7 @@ The module also hosts the seeded global generator behind
 
 from repro.backend.base import ArrayBackend
 from repro.backend.fused import FusedNumpyBackend
+from repro.backend.lazy import LazyArray, LazyBackend, pause_deferral, set_deferral
 from repro.backend.numpy_backend import NumpyBackend
 from repro.backend.registry import (
     available_backends,
@@ -42,11 +47,15 @@ __all__ = [
     "ArrayBackend",
     "NumpyBackend",
     "FusedNumpyBackend",
+    "LazyArray",
+    "LazyBackend",
     "available_backends",
     "default_rng",
     "get_backend",
     "manual_seed",
+    "pause_deferral",
     "register_backend",
     "set_backend",
+    "set_deferral",
     "use_backend",
 ]

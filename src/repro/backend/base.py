@@ -41,7 +41,7 @@ activations passed in are read-only.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Tuple, runtime_checkable
+from typing import Callable, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -196,6 +196,25 @@ class ArrayBackend(Protocol):
         ``out`` is rectified in addition.  Returns ``(xhat, out)`` with the
         same aliasing contract as :meth:`bn_normalize` (``out`` must never
         alias the saved ``xhat``).
+        """
+        ...
+
+    # ------------------------------------------------------------------ #
+    # Region codegen fusion point
+    # ------------------------------------------------------------------ #
+    def compile_region(self, region) -> "Callable":
+        """Compile one :class:`repro.codegen.region.RegionIR` into a
+        ``kernel(arrays, out=None) -> ndarray`` callable.
+
+        This is the fusion pipeline's execution hook: the region pass
+        (:mod:`repro.autograd.fusion`), the lazy backend
+        (:mod:`repro.backend.lazy`) and the serving compiler all hand
+        extracted elementwise regions to the active backend through it.
+        The returned kernel must be **bit-identical** to running the
+        region's op sequence through this backend's own elementwise
+        primitives — that equality is what lets fusion stay on by default.
+        Backends that cannot honor it simply omit the method and their
+        nodes are never region-fused.
         """
         ...
 

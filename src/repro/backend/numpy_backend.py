@@ -178,6 +178,19 @@ class NumpyBackend:
         xhat, out = self.bn_normalize(x, mean, inv_std, gamma, beta, bshape)
         return xhat, np.maximum(out, 0.0)
 
+    # ------------------------------------------------------------------ #
+    # Region codegen fusion point
+    # ------------------------------------------------------------------ #
+    def compile_region(self, region):
+        # One compiled C loop per region (bit-equal to the ufunc sequence
+        # by the codegen contract); the numpy-interpreter arm — which *is*
+        # this backend's op sequence — when codegen is off or no compiler
+        # exists.  FusedNumpyBackend inherits this: its elementwise
+        # primitives are the same ufuncs.
+        from repro.codegen import compile_region as _compile_region
+
+        return _compile_region(region)
+
     def dropout_mask(self, rng: np.random.Generator, shape, p: float, dtype) -> np.ndarray:
         # Drawn through the random_uniform primitive so a backend that
         # overrides only the RNG (a device generator) inherits a consistent

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.backend.base import ArrayBackend
 from repro.backend.fused import FusedNumpyBackend
+from repro.backend.lazy import LazyBackend
 from repro.backend.numpy_backend import NumpyBackend
 
 __all__ = [
@@ -137,5 +138,6 @@ def default_rng() -> np.random.Generator:
 # --------------------------------------------------------------------------- #
 register_backend(NumpyBackend())
 register_backend(FusedNumpyBackend())
+register_backend(LazyBackend())
 
 _active: Optional[ArrayBackend] = None

@@ -1,0 +1,32 @@
+"""Region codegen: elementwise region IR → one compiled C loop kernel.
+
+See :mod:`repro.codegen.region` for the IR, :mod:`repro.codegen.crender`
+for the C renderer, and :mod:`repro.codegen.jit` for compilation, the
+on-disk kernel cache, and the numpy-interpreter fallback arm.
+"""
+
+from repro.codegen.jit import (
+    clear_kernel_memo,
+    codegen_enabled,
+    codegen_stats,
+    compile_region,
+    enable_codegen,
+    have_compiler,
+    kernel_cache_dir,
+    using_codegen,
+)
+from repro.codegen.region import REGION_OPS, RegionInput, RegionIR
+
+__all__ = [
+    "REGION_OPS",
+    "RegionInput",
+    "RegionIR",
+    "clear_kernel_memo",
+    "codegen_enabled",
+    "codegen_stats",
+    "compile_region",
+    "enable_codegen",
+    "have_compiler",
+    "kernel_cache_dir",
+    "using_codegen",
+]

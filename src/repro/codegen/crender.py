@@ -1,0 +1,116 @@
+"""Render one :class:`~repro.codegen.region.RegionIR` signature to C.
+
+The generated kernel is a single nested loop over the output elements —
+one pass, zero temporaries — with per-input strides derived at runtime
+from the output shape and the compile-time broadcast pattern, so the same
+kernel serves every concrete size of the region structure (batch-size
+changes hit the cache; dtype/rank changes miss it).
+
+Bit-equality with the numpy interpreter arm is the design constraint:
+
+- ``add``/``sub``/``mul``/``div``/``neg`` are plain IEEE-754 scalar ops,
+  identical to the numpy ufuncs (compiled with ``-ffp-contract=off`` so
+  the compiler cannot contract ``a*b+c`` into an FMA, which would change
+  the last bits).
+- ``relu`` is rendered as ``(x > 0 || isnan(x)) ? x : 0`` — exactly
+  ``np.maximum(x, 0.0)``: NaN propagates, ``-0.0`` maps to ``+0.0``.
+
+Inputs must be C-contiguous (the JIT wrapper guarantees it); the output is
+written densely through a running index.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+__all__ = ["render_kernel", "kernel_name"]
+
+_CTYPE = {"float32": "float", "float64": "double"}
+
+
+def kernel_name(signature: tuple) -> str:
+    """Stable function/file name for one region signature."""
+    digest = hashlib.sha256(repr(signature).encode()).hexdigest()[:16]
+    return f"repro_region_{digest}"
+
+
+def _strides(pattern: Tuple[int, ...]) -> List[str]:
+    """C expressions for the element strides of one input.
+
+    For a C-contiguous operand whose effective shape has size 1 (or is
+    absent) wherever ``pattern`` is 0, the stride over output dim ``d`` is
+    0 if broadcast, else the product of the *input's* trailing real dims.
+    """
+    exprs = []
+    for d in range(len(pattern)):
+        if pattern[d] == 0:
+            exprs.append("0")
+            continue
+        terms = [f"shape[{k}]" for k in range(d + 1, len(pattern)) if pattern[k] == 1]
+        exprs.append(" * ".join(terms) if terms else "1")
+    return exprs
+
+
+def render_kernel(signature: tuple) -> Tuple[str, str]:
+    """Return ``(name, c_source)`` for one region signature."""
+    ops, dtype, ndim, patterns = signature
+    ctype = _CTYPE[dtype]
+    name = kernel_name(signature)
+    n_in = len(patterns)
+    zero = "0.0f" if ctype == "float" else "0.0"
+
+    lines = [
+        "#include <math.h>",
+        "typedef long long i64;",
+        "",
+        f"void {name}(const i64 *shape, "
+        + "".join(f"const {ctype} *in{k}, " for k in range(n_in))
+        + f"{ctype} *out)",
+        "{",
+    ]
+    # Per-input stride constants (from the output shape at runtime).
+    for k, pattern in enumerate(patterns):
+        for d, expr in enumerate(_strides(pattern)):
+            lines.append(f"    const i64 s{k}_{d} = {expr};")
+    lines.append("    i64 o = 0;")
+
+    indent = "    "
+    # Nested loops with per-level base pointers: each level hoists its
+    # index*stride add out of the inner loops.
+    bases = {k: f"in{k}" for k in range(n_in)}
+    for d in range(ndim):
+        lines.append(f"{indent}for (i64 i{d} = 0; i{d} < shape[{d}]; ++i{d}) {{")
+        indent += "    "
+        for k in range(n_in):
+            lines.append(
+                f"{indent}const {ctype} *b{k}_{d} = {bases[k]} + i{d} * s{k}_{d};"
+            )
+            bases[k] = f"b{k}_{d}"
+
+    # Loads, then the op program as scalar temporaries.
+    for k in range(n_in):
+        lines.append(f"{indent}const {ctype} v{k} = {bases[k]}[0];")
+    slot = n_in
+    val = {k: f"v{k}" for k in range(n_in)}
+    for op, srcs in ops:
+        a = val[srcs[0]]
+        if op == "neg":
+            expr = f"-{a}"
+        elif op == "relu":
+            expr = f"({a} > {zero} || isnan({a})) ? {a} : {zero}"
+        else:
+            b = val[srcs[1]]
+            sym = {"add": "+", "sub": "-", "mul": "*", "div": "/"}[op]
+            expr = f"{a} {sym} {b}"
+        lines.append(f"{indent}const {ctype} t{slot} = {expr};")
+        val[slot] = f"t{slot}"
+        slot += 1
+    lines.append(f"{indent}out[o++] = t{slot - 1};")
+
+    for d in range(ndim - 1, -1, -1):
+        indent = indent[:-4]
+        lines.append(f"{indent}}}")
+    lines.append("}")
+    lines.append("")
+    return name, "\n".join(lines)

@@ -1,0 +1,372 @@
+"""Compile region kernels to native code, with an on-disk kernel cache.
+
+Pipeline: region → structural signature → C source
+(:mod:`repro.codegen.crender`) → shared object compiled by the system C
+compiler → loaded through :mod:`cffi` (ABI mode; :mod:`ctypes` when cffi is
+unavailable).  Kernels are cached at three levels:
+
+- **in process** by signature, so repeated flushes/compiles of the same
+  region structure resolve to one loaded function;
+- **on disk** under ``$REPRO_KERNEL_CACHE`` (default
+  ``~/.cache/repro/kernels``), content-hashed over the C source *and* the
+  compiler identity, so a cc upgrade or a renderer change can never serve a
+  stale binary.  Entries are written atomically (temp file +
+  ``os.replace``) so concurrent processes race benignly;
+- a **corrupted entry** (truncated .so, missing symbol) is unlinked and
+  recompiled instead of crashing.
+
+When codegen is disabled (``REPRO_CODEGEN=0``), no compiler is available,
+or a compile fails, :func:`compile_region` falls back to the numpy
+interpreter arm — bit-equal to the compiled arm by contract, so the
+fallback is purely a performance event.  It is counted as one: the module
+registers ``repro_codegen_*`` counters and a ``compile_ms`` histogram in
+the process-default observability registry (:func:`repro.obs.get_registry`),
+all off the kernel execution hot path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.codegen.crender import render_kernel
+from repro.codegen.region import RegionIR
+
+__all__ = [
+    "codegen_enabled",
+    "enable_codegen",
+    "using_codegen",
+    "have_compiler",
+    "kernel_cache_dir",
+    "compile_region",
+    "clear_kernel_memo",
+    "codegen_stats",
+]
+
+_FALSY = ("", "0", "off", "false", "no")
+
+#: Programmatic override of the REPRO_CODEGEN environment toggle.
+_OVERRIDE: Optional[bool] = None
+
+
+def codegen_enabled() -> bool:
+    """Whether :func:`compile_region` may emit native kernels.
+
+    :func:`enable_codegen` / :func:`using_codegen` take precedence;
+    otherwise ``REPRO_CODEGEN`` decides (**on** by default — unlike fusion,
+    codegen only runs where fusion already placed a region, and it degrades
+    gracefully to the interpreter without a compiler).
+    """
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return os.environ.get("REPRO_CODEGEN", "1").strip().lower() not in _FALSY
+
+
+def enable_codegen(flag: Optional[bool]) -> None:
+    """Force codegen on/off, or ``None`` for the environment default."""
+    global _OVERRIDE
+    _OVERRIDE = flag
+
+
+@contextlib.contextmanager
+def using_codegen(flag: bool):
+    """Scoped :func:`enable_codegen`, restoring the previous override."""
+    global _OVERRIDE
+    previous = _OVERRIDE
+    _OVERRIDE = bool(flag)
+    try:
+        yield
+    finally:
+        _OVERRIDE = previous
+
+
+def kernel_cache_dir() -> Path:
+    """The on-disk kernel cache directory (``REPRO_KERNEL_CACHE`` override)."""
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    return Path(os.path.expanduser("~")) / ".cache" / "repro" / "kernels"
+
+
+# --------------------------------------------------------------------------- #
+# Compiler discovery
+# --------------------------------------------------------------------------- #
+_cc_cache: Optional[tuple] = None  # (path or None, version string)
+
+
+def _compiler() -> tuple:
+    global _cc_cache
+    if _cc_cache is None:
+        path = None
+        for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+            if cand and shutil.which(cand):
+                path = shutil.which(cand)
+                break
+        version = ""
+        if path:
+            try:
+                proc = subprocess.run(
+                    [path, "--version"], capture_output=True, text=True, timeout=10
+                )
+                version = proc.stdout.splitlines()[0] if proc.stdout else ""
+            except (OSError, subprocess.SubprocessError):
+                path = None
+        _cc_cache = (path, version)
+    return _cc_cache
+
+
+def have_compiler() -> bool:
+    """Whether a usable C compiler was found (``$CC``, cc, gcc, clang)."""
+    return _compiler()[0] is not None
+
+
+# --------------------------------------------------------------------------- #
+# Observability
+# --------------------------------------------------------------------------- #
+_metrics_cache = None
+
+
+def _metrics():
+    """Codegen counters in the process-default registry (lazy, cached)."""
+    global _metrics_cache
+    if _metrics_cache is None:
+        from repro.obs.metrics import get_registry
+
+        registry = get_registry()
+        _metrics_cache = {
+            "compiled": registry.counter(
+                "repro_codegen_kernels_compiled_total",
+                "Region kernels compiled to native code",
+            ),
+            "cache_hits": registry.counter(
+                "repro_codegen_cache_hits_total",
+                "Region kernels served from the on-disk cache",
+            ),
+            "fallback": registry.counter(
+                "repro_codegen_fallback_total",
+                "Regions resolved to the numpy-interpreter arm "
+                "(codegen disabled, no compiler, or compile failure)",
+            ),
+            "compile_ms": registry.histogram(
+                "repro_codegen_compile_ms",
+                "Wall time of one region kernel compile",
+                buckets=(1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0),
+            ),
+        }
+    return _metrics_cache
+
+
+def codegen_stats() -> dict:
+    """Plain-int snapshot of the codegen counters (tests, bench reports)."""
+    with _LOCK:
+        return dict(_STATS)
+
+
+_STATS = {"compiled": 0, "disk_hits": 0, "memo_hits": 0, "fallbacks": 0}
+
+
+# --------------------------------------------------------------------------- #
+# Kernel compilation + loading
+# --------------------------------------------------------------------------- #
+_LOCK = threading.Lock()
+#: signature -> (raw_fn, keepalive) | None (None = interpreter fallback).
+_MEMO: dict = {}
+
+#: -O3 for auto-vectorization of the elementwise loops (per-element op
+#: sequences are independent, so vectorizing them is IEEE-exact); no
+#: -ffast-math, and -ffp-contract=off because GCC otherwise contracts
+#: a*b+c into FMA, which changes the last bits — the numpy arm never
+#: fuses, so the C arm must not either.  The flags participate in the
+#: cache content hash: a flag change can never serve a stale binary.
+_CFLAGS = ("-O3", "-shared", "-fPIC", "-ffp-contract=off")
+
+try:  # pragma: no cover - exercised via whichever loader is present
+    import cffi as _cffi
+except ImportError:  # pragma: no cover
+    _cffi = None
+
+
+def clear_kernel_memo() -> None:
+    """Drop the in-process kernel memo (tests re-exercise the disk cache)."""
+    with _LOCK:
+        _MEMO.clear()
+
+
+def _load(so_path: Path, name: str, n_in: int):
+    """Load one kernel symbol; raises OSError/AttributeError on corruption."""
+    if _cffi is not None:
+        ffi = _cffi.FFI()
+        # ABI-level pointer args: the calling convention only needs "pointer",
+        # so void* avoids re-declaring the kernel's typed prototype.
+        ffi.cdef(
+            f"void {name}(" + ", ".join(["const void *"] * (n_in + 1)) + ", void *);"
+        )
+        lib = ffi.dlopen(str(so_path))
+        fn = getattr(lib, name)
+
+        from_buffer = ffi.from_buffer
+
+        def call(shape_arr, arrays, out):
+            fn(
+                from_buffer(shape_arr),
+                *(from_buffer(a) for a in arrays),
+                from_buffer(out, require_writable=True),
+            )
+
+        return call, (ffi, lib)
+
+    import ctypes
+
+    lib = ctypes.CDLL(str(so_path))
+    fn = getattr(lib, name)
+    fn.argtypes = [ctypes.c_void_p] * (n_in + 2)
+    fn.restype = None
+
+    def call(shape_arr, arrays, out):
+        fn(
+            shape_arr.ctypes.data,
+            *(a.ctypes.data for a in arrays),
+            out.ctypes.data,
+        )
+
+    return call, (lib,)
+
+
+def _compile_to_cache(signature) -> Optional[tuple]:
+    """Compile (or cache-load) the kernel for one signature.
+
+    Returns ``(call, keepalive)`` or ``None`` when the native arm is
+    unavailable.  Caller holds no locks; the memo is updated by the caller.
+    """
+    cc, cc_version = _compiler()
+    if cc is None:
+        return None
+    name, source = render_kernel(signature)
+    import hashlib
+
+    content = hashlib.sha256(
+        (source + "\x00" + cc_version + "\x00" + " ".join(_CFLAGS)).encode()
+    ).hexdigest()[:20]
+    cache_dir = kernel_cache_dir()
+    so_path = cache_dir / f"{name}-{content}.so"
+    n_in = len(signature[3])
+
+    if so_path.exists():
+        try:
+            loaded = _load(so_path, name, n_in)
+            _metrics()["cache_hits"].inc()
+            with _LOCK:
+                _STATS["disk_hits"] += 1
+            return loaded
+        except (OSError, AttributeError):
+            # Corrupted entry (truncated write, bad disk, wrong arch):
+            # drop it and recompile below.
+            with contextlib.suppress(OSError):
+                so_path.unlink()
+
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    start = time.perf_counter()
+    tmp_dir = tempfile.mkdtemp(dir=str(cache_dir))
+    try:
+        c_path = Path(tmp_dir) / f"{name}.c"
+        tmp_so = Path(tmp_dir) / f"{name}.so"
+        c_path.write_text(source)
+        proc = subprocess.run(
+            [cc, *_CFLAGS, "-o", str(tmp_so), str(c_path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return None
+        # Keep the source next to the binary for debuggability; both are
+        # content-addressed, so concurrent racers write identical bytes.
+        with contextlib.suppress(OSError):
+            os.replace(str(c_path), str(cache_dir / f"{name}-{content}.c"))
+        os.replace(str(tmp_so), str(so_path))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    try:
+        loaded = _load(so_path, name, n_in)
+    except (OSError, AttributeError):
+        return None
+    _metrics()["compiled"].inc()
+    _metrics()["compile_ms"].observe(elapsed_ms)
+    with _LOCK:
+        _STATS["compiled"] += 1
+    return loaded
+
+
+def _kernel_for(signature):
+    """The loaded native kernel for ``signature``, or ``None`` (memoized)."""
+    with _LOCK:
+        if signature in _MEMO:
+            _STATS["memo_hits"] += 1
+            return _MEMO[signature]
+    resolved = _compile_to_cache(signature)
+    with _LOCK:
+        # A racing thread may have resolved it first; keep the winner so
+        # both closures share one loaded library.
+        existing = _MEMO.setdefault(signature, resolved)
+    return existing
+
+
+# --------------------------------------------------------------------------- #
+# The public fusion point
+# --------------------------------------------------------------------------- #
+def compile_region(region: RegionIR) -> Callable:
+    """Compile one region into ``kernel(arrays, out=None) -> ndarray``.
+
+    The returned callable takes the region's *dynamic* input arrays (consts
+    are bound inside) and an optional pre-allocated ``out`` buffer.  It runs
+    the native kernel when codegen is enabled and a compiler is available,
+    and the numpy-interpreter arm otherwise — the two arms are bit-equal,
+    so which one you got is observable only through the codegen counters
+    (and :func:`codegen_stats`).
+    """
+    resolved = None
+    if codegen_enabled():
+        resolved = _kernel_for(region.signature())
+    if resolved is None:
+        _metrics()["fallback"].inc()
+        with _LOCK:
+            _STATS["fallbacks"] += 1
+        interpret = region.interpret
+
+        def kernel(arrays, out=None):
+            return interpret(arrays, out=out)
+
+        kernel.is_compiled = False
+        return kernel
+
+    call, _keepalive = resolved
+    bind = region.bind
+    out_shape = region.out_shape
+    out_dtype = region.out_dtype
+    shape_arr = np.asarray(out_shape or (0,), dtype=np.int64)
+    ascontiguous = np.ascontiguousarray
+
+    def kernel(arrays, out=None):
+        bound = [ascontiguous(a) for a in bind(arrays)]
+        if out is None:
+            out = np.empty(out_shape, out_dtype)
+        call(shape_arr, bound, out)
+        return out
+
+    kernel.is_compiled = True
+    return kernel

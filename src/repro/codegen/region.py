@@ -1,0 +1,256 @@
+"""Region IR: a straight-line elementwise program over broadcastable arrays.
+
+A *region* is the unit the fusion passes extract and the execution backends
+compile: a DAG of elementwise operations (``add``/``sub``/``mul``/``div``/
+``neg``/``relu``) whose interior values each have exactly one consumer, so
+the whole thing can run as **one kernel** — a single pass over the output
+elements with zero materialized temporaries.
+
+The program form is linear SSA: slots ``[0, len(inputs))`` name the region
+inputs, and each op appends one more slot; the region's output is the last
+op's slot.  Inputs carry their effective dtype/shape, an optional
+``reshape`` applied to the bound array before use (batch-norm affine
+parameters are ``(C,)`` arrays broadcast as ``(1, C, 1, 1)``), and an
+optional ``const`` array bound at build time (frozen batch-norm statistics)
+so callers only supply the *dynamic* inputs.
+
+Two execution arms share this IR:
+
+- :meth:`RegionIR.interpret` — the numpy arm: the exact ufunc-by-ufunc
+  sequence the eager tape would have executed, so its results are
+  bit-identical to unfused eager execution by construction.
+- the C arm (:mod:`repro.codegen.crender` + :mod:`repro.codegen.jit`) —
+  one compiled loop kernel.  Every region op maps to an IEEE-754 scalar
+  operation that numpy also implements as a plain IEEE op, so the two arms
+  are **bit-equal**; that equality is the contract the test suite enforces.
+
+:meth:`RegionIR.signature` is the kernel-cache key: it abstracts concrete
+sizes into per-input *broadcast patterns* (which output dims an input
+actually strides over), so one compiled kernel serves every batch size of
+the same region structure, while a dtype or rank change misses the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["REGION_OPS", "RegionInput", "RegionIR"]
+
+#: Ops a region may contain.  Deliberately restricted to operations whose
+#: C scalar form is bit-equal to the numpy ufunc (IEEE add/sub/mul/div/neg
+#: plus the relu max-with-zero): transcendentals (exp, tanh, ...) use
+#: numpy's own SIMD polynomials and would break the two-arm equality.
+REGION_OPS = ("add", "sub", "mul", "div", "neg", "relu")
+
+_ARITY = {"add": 2, "sub": 2, "mul": 2, "div": 2, "neg": 1, "relu": 1}
+
+_UFUNC = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+}
+
+
+class RegionInput:
+    """One region operand: dtype/shape metadata plus optional binding.
+
+    ``shape`` is the *effective* shape (after ``reshape``) that participates
+    in broadcasting.  ``const`` pins the operand to a fixed array at build
+    time; const inputs are skipped in the dynamic-argument list callers pass
+    to the compiled kernel.
+    """
+
+    __slots__ = ("dtype", "shape", "reshape", "const")
+
+    def __init__(
+        self,
+        dtype,
+        shape: Tuple[int, ...],
+        reshape: Optional[Tuple[int, ...]] = None,
+        const: Optional[np.ndarray] = None,
+    ) -> None:
+        self.dtype = np.dtype(dtype)
+        self.shape = tuple(shape)
+        self.reshape = tuple(reshape) if reshape is not None else None
+        self.const = const
+
+
+class RegionIR:
+    """A fused elementwise region: inputs + linear op program.
+
+    Parameters
+    ----------
+    inputs:
+        The region operands, in the order dynamic arguments are passed.
+    ops:
+        ``(op, src_slots)`` pairs; ``src_slots`` index inputs
+        (``< len(inputs)``) or earlier op results (``len(inputs) + i``).
+    out_shape, out_dtype:
+        Shape/dtype of the final op's result (the region output).
+    """
+
+    __slots__ = ("inputs", "ops", "out_shape", "out_dtype", "_signature")
+
+    def __init__(
+        self,
+        inputs: Sequence[RegionInput],
+        ops: Sequence[Tuple[str, Tuple[int, ...]]],
+        out_shape: Tuple[int, ...],
+        out_dtype,
+    ) -> None:
+        self.inputs = tuple(inputs)
+        self.ops = tuple((op, tuple(srcs)) for op, srcs in ops)
+        self.out_shape = tuple(out_shape)
+        self.out_dtype = np.dtype(out_dtype)
+        self._signature = None
+        if not self.ops:
+            raise ValueError("a region needs at least one op")
+        if self.out_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"regions are float32/float64 only, got {self.out_dtype}")
+        n_in = len(self.inputs)
+        for i, (op, srcs) in enumerate(self.ops):
+            if op not in _ARITY:
+                raise ValueError(f"unknown region op {op!r}")
+            if len(srcs) != _ARITY[op]:
+                raise ValueError(f"op {op!r} takes {_ARITY[op]} operands, got {len(srcs)}")
+            for s in srcs:
+                if not 0 <= s < n_in + i:
+                    raise ValueError(f"op {i} ({op}) references undefined slot {s}")
+        for inp in self.inputs:
+            if inp.dtype != self.out_dtype:
+                raise ValueError(
+                    f"region inputs must share the output dtype {self.out_dtype}, "
+                    f"got {inp.dtype}"
+                )
+
+    @property
+    def num_dynamic(self) -> int:
+        """How many (non-const) arrays a caller passes per execution."""
+        return sum(1 for inp in self.inputs if inp.const is None)
+
+    # ------------------------------------------------------------------ #
+    # Cache key
+    # ------------------------------------------------------------------ #
+    def broadcast_pattern(self, inp: RegionInput) -> Tuple[int, ...]:
+        """Which output dims ``inp`` strides over: 1 = real dim, 0 = broadcast.
+
+        The input's effective shape is right-aligned against the output
+        shape (numpy broadcasting); missing leading dims and size-1 dims
+        read with stride 0.
+        """
+        ndim = len(self.out_shape)
+        shape = (1,) * (ndim - len(inp.shape)) + inp.shape
+        return tuple(0 if s == 1 else 1 for s in shape)
+
+    def signature(self) -> tuple:
+        """Structural kernel-cache key: op program, dtype, rank, broadcast
+        patterns — everything the rendered C depends on, and nothing else
+        (concrete sizes are runtime arguments, so one kernel serves every
+        batch size)."""
+        sig = self._signature
+        if sig is None:
+            sig = (
+                self.ops,
+                str(self.out_dtype),
+                len(self.out_shape),
+                tuple(self.broadcast_pattern(inp) for inp in self.inputs),
+            )
+            self._signature = sig
+        return sig
+
+    def respecialize(self, shapes: Sequence[Tuple[int, ...]]) -> "RegionIR":
+        """The same program over new *dynamic* input shapes.
+
+        Used when a captured region is replayed over a different batch
+        size: the op program (and usually the kernel-cache signature) is
+        unchanged, only the concrete shapes move.  Const inputs keep their
+        pinned shapes; reshaped inputs are not supported (the caller's
+        array shape would be pre-reshape and ambiguous).
+        """
+        new_inputs = []
+        slot_shapes = []
+        j = 0
+        for inp in self.inputs:
+            if inp.const is not None:
+                new_inputs.append(inp)
+                slot_shapes.append(inp.shape)
+                continue
+            if inp.reshape is not None:
+                raise ValueError("cannot respecialize a region with reshaped inputs")
+            shape = tuple(shapes[j])
+            j += 1
+            new_inputs.append(RegionInput(inp.dtype, shape))
+            slot_shapes.append(shape)
+        for op, srcs in self.ops:
+            if op in ("neg", "relu"):
+                slot_shapes.append(slot_shapes[srcs[0]])
+            else:
+                slot_shapes.append(
+                    tuple(np.broadcast_shapes(slot_shapes[srcs[0]], slot_shapes[srcs[1]]))
+                )
+        return RegionIR(new_inputs, self.ops, slot_shapes[-1], self.out_dtype)
+
+    # ------------------------------------------------------------------ #
+    # Binding + the numpy interpreter arm
+    # ------------------------------------------------------------------ #
+    def bind(self, arrays: Sequence[np.ndarray]) -> list:
+        """Resolve the full operand list: consts spliced in, reshapes applied.
+
+        Validates the dynamic arrays against the recorded shapes — a
+        mismatch would make the compiled kernel's stride arithmetic read out
+        of bounds, so it is a hard error, not a silent best-effort.
+        """
+        bound = []
+        j = 0
+        for i, inp in enumerate(self.inputs):
+            if inp.const is not None:
+                bound.append(inp.const)
+                continue
+            if j >= len(arrays):
+                raise ValueError(
+                    f"region takes {self.num_dynamic} arrays, got {len(arrays)}"
+                )
+            a = arrays[j]
+            j += 1
+            if inp.reshape is not None:
+                a = a.reshape(inp.reshape)
+            if a.shape != inp.shape:
+                raise ValueError(
+                    f"region input {i} has shape {a.shape}, expected {inp.shape}"
+                )
+            if a.dtype != inp.dtype:
+                raise ValueError(
+                    f"region input {i} has dtype {a.dtype}, expected {inp.dtype}"
+                )
+            bound.append(a)
+        if j != len(arrays):
+            raise ValueError(
+                f"region takes {self.num_dynamic} arrays, got {len(arrays)}"
+            )
+        return bound
+
+    def interpret(
+        self, arrays: Sequence[np.ndarray], out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """The numpy-interpreter arm: run the program ufunc by ufunc.
+
+        This is exactly the op sequence the eager (unfused) tape executed,
+        so results are bit-identical to no-fusion by construction; it is
+        also the reference the C arm must match.  ``out``, when given, is
+        used as the final op's ``out=`` buffer (same values, zero-alloc).
+        """
+        vals = self.bind(arrays)
+        last = len(self.ops) - 1
+        for i, (op, srcs) in enumerate(self.ops):
+            dst = out if (i == last and out is not None) else None
+            if op == "neg":
+                r = np.negative(vals[srcs[0]], out=dst)
+            elif op == "relu":
+                r = np.maximum(vals[srcs[0]], 0.0, out=dst)
+            else:
+                r = _UFUNC[op](vals[srcs[0]], vals[srcs[1]], out=dst)
+            vals.append(r)
+        return vals[-1]

@@ -195,7 +195,8 @@ def compile_inference(model: Module, example_batch, fuse: bool = True) -> "Infer
     fuse:
         Run the :mod:`repro.autograd.fusion` pass over the captured trace
         (default), so the executor dispatches fused composites
-        (``linear_relu`` and friends) instead of separate nodes.
+        (``linear_relu`` and friends) and codegen'd ``region`` kernels
+        instead of separate nodes.
     """
     if not isinstance(model, Module):
         raise TypeError(
@@ -508,6 +509,19 @@ class InferenceSession:
             def step(values):
                 np.multiply(ga(values), gb2(values), out=buf)
                 np.add(buf, gc(values), out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        if op == "region":
+            # One codegen'd kernel for the whole extracted elementwise
+            # region (compiled C when available, the bit-equal numpy
+            # interpreter otherwise), writing into a pre-allocated buffer.
+            kern = be.compile_region(attrs["region"])
+            buf = np.empty(example.shape, example.dtype)
+
+            def step(values):
+                kern([g(values) for g in getters], out=buf)
                 values[out_slot] = buf
 
             return step

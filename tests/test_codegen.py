@@ -1,0 +1,259 @@
+"""Codegen tests: region IR, the kernel cache, and the two-arm bit contract."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import (
+    RegionIR,
+    RegionInput,
+    clear_kernel_memo,
+    codegen_stats,
+    compile_region,
+    have_compiler,
+    kernel_cache_dir,
+    using_codegen,
+)
+
+needs_cc = pytest.mark.skipif(not have_compiler(), reason="no C compiler available")
+
+
+def _chain_region(shape=(4, 8), dtype=np.float32):
+    """relu((a * b) + c) over ``shape`` arrays."""
+    inputs = [RegionInput(dtype, shape) for _ in range(3)]
+    ops = [("mul", (0, 1)), ("add", (3, 2)), ("relu", (4,))]
+    return RegionIR(inputs, ops, shape, dtype)
+
+
+def _arrays(region, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.standard_normal(inp.shape).astype(inp.dtype)
+        for inp in region.inputs
+        if inp.const is None
+    ]
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the on-disk kernel cache at a fresh directory; clear the memo."""
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+    clear_kernel_memo()
+    yield tmp_path
+    clear_kernel_memo()
+
+
+# --------------------------------------------------------------------------- #
+# Region IR structure
+# --------------------------------------------------------------------------- #
+def test_region_validates_program():
+    with pytest.raises(ValueError, match="at least one op"):
+        RegionIR([RegionInput(np.float32, (2,))], [], (2,), np.float32)
+    with pytest.raises(ValueError, match="undefined slot"):
+        RegionIR(
+            [RegionInput(np.float32, (2,))], [("neg", (5,))], (2,), np.float32
+        )
+    with pytest.raises(ValueError, match="float32/float64 only"):
+        RegionIR(
+            [RegionInput(np.int32, (2,))], [("neg", (0,))], (2,), np.int32
+        )
+    with pytest.raises(ValueError, match="share the output dtype"):
+        RegionIR(
+            [RegionInput(np.float64, (2,))], [("neg", (0,))], (2,), np.float32
+        )
+
+
+def test_signature_abstracts_concrete_sizes():
+    # Same structure at different batch sizes -> one cache key.
+    r8 = _chain_region(shape=(8, 16))
+    r64 = _chain_region(shape=(64, 16))
+    assert r8.signature() == r64.signature()
+    # dtype changes the key.
+    assert r8.signature() != _chain_region(shape=(8, 16), dtype=np.float64).signature()
+    # Rank changes the key (same element count).
+    r3d = _chain_region(shape=(8, 4, 4))
+    assert r8.signature() != r3d.signature()
+    # Broadcast pattern changes the key.
+    inputs = [
+        RegionInput(np.float32, (8, 16)),
+        RegionInput(np.float32, (16,)),  # row-broadcast operand
+        RegionInput(np.float32, (8, 16)),
+    ]
+    rb = RegionIR(
+        inputs, [("mul", (0, 1)), ("add", (3, 2)), ("relu", (4,))], (8, 16), np.float32
+    )
+    assert rb.signature() != r8.signature()
+
+
+def test_interpret_matches_eager_ufunc_sequence():
+    region = _chain_region()
+    a, b, c = _arrays(region)
+    expect = np.maximum(np.add(np.multiply(a, b), c), 0.0)
+    got = region.interpret([a, b, c])
+    assert got.tobytes() == expect.tobytes()
+    # out= writes into the caller's buffer with identical values.
+    buf = np.empty(region.out_shape, region.out_dtype)
+    got2 = region.interpret([a, b, c], out=buf)
+    assert got2 is buf
+    assert buf.tobytes() == expect.tobytes()
+
+
+def test_bind_rejects_shape_and_dtype_mismatch():
+    region = _chain_region()
+    a, b, c = _arrays(region)
+    with pytest.raises(ValueError, match="has shape"):
+        region.bind([a[:2], b, c])
+    with pytest.raises(ValueError, match="has dtype"):
+        region.bind([a.astype(np.float64), b, c])
+    with pytest.raises(ValueError, match="takes 3 arrays"):
+        region.bind([a, b])
+
+
+def test_respecialize_reuses_program_at_new_batch_size():
+    region = _chain_region(shape=(4, 8))
+    bigger = region.respecialize([(32, 8), (32, 8), (32, 8)])
+    assert bigger.out_shape == (32, 8)
+    assert bigger.ops == region.ops
+    assert bigger.signature() == region.signature()
+    arrays = _arrays(bigger, seed=3)
+    expect = np.maximum(arrays[0] * arrays[1] + arrays[2], 0.0)
+    assert bigger.interpret(arrays).tobytes() == expect.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# The two execution arms
+# --------------------------------------------------------------------------- #
+def test_disabled_codegen_forces_interpreter_arm(cache_dir):
+    region = _chain_region()
+    arrays = _arrays(region)
+    with using_codegen(False):
+        kern = compile_region(region)
+    assert kern.is_compiled is False
+    expect = np.maximum(arrays[0] * arrays[1] + arrays[2], 0.0)
+    assert kern(arrays).tobytes() == expect.tobytes()
+    assert not list(cache_dir.glob("*.so"))  # nothing compiled
+
+
+@needs_cc
+def test_compiled_arm_bit_equal_to_interpreter(cache_dir):
+    region = _chain_region(shape=(16, 32))
+    rng = np.random.default_rng(7)
+    arrays = [rng.standard_normal((16, 32)).astype(np.float32) for _ in range(3)]
+    # Exercise the special values the relu rule must preserve.
+    arrays[0][0, :4] = [np.nan, np.inf, -np.inf, -0.0]
+    with using_codegen(True):
+        compiled = compile_region(region)
+    assert compiled.is_compiled is True
+    with using_codegen(False):
+        interp = compile_region(region)
+    assert compiled(arrays).tobytes() == interp(arrays).tobytes()
+    # out= path too.
+    buf = np.empty(region.out_shape, region.out_dtype)
+    got = compiled(arrays, out=buf)
+    assert got is buf and buf.tobytes() == interp(arrays).tobytes()
+
+
+@needs_cc
+def test_float64_region_compiles_and_matches(cache_dir):
+    region = _chain_region(shape=(5, 7), dtype=np.float64)
+    arrays = _arrays(region, seed=11)
+    with using_codegen(True):
+        kern = compile_region(region)
+    assert kern.is_compiled
+    expect = region.interpret(arrays)
+    assert kern(arrays).tobytes() == expect.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# Kernel cache behavior
+# --------------------------------------------------------------------------- #
+@needs_cc
+def test_identical_region_hits_cache(cache_dir):
+    region = _chain_region()
+    before = codegen_stats()
+    with using_codegen(True):
+        k1 = compile_region(region)
+        # Same structure, different batch size: same signature -> memo hit.
+        k2 = compile_region(_chain_region(shape=(64, 8)))
+    after = codegen_stats()
+    assert k1.is_compiled and k2.is_compiled
+    assert after["compiled"] == before["compiled"] + 1
+    assert after["memo_hits"] == before["memo_hits"] + 1
+    assert len(list(cache_dir.glob("*.so"))) == 1
+
+    # Fresh process simulated by clearing the memo: the .so is reloaded
+    # from disk, not recompiled.
+    clear_kernel_memo()
+    with using_codegen(True):
+        k3 = compile_region(region)
+    final = codegen_stats()
+    assert k3.is_compiled
+    assert final["compiled"] == after["compiled"]
+    assert final["disk_hits"] == after["disk_hits"] + 1
+
+
+@needs_cc
+def test_dtype_and_rank_changes_miss_cache(cache_dir):
+    before = codegen_stats()
+    with using_codegen(True):
+        compile_region(_chain_region(shape=(4, 8), dtype=np.float32))
+        compile_region(_chain_region(shape=(4, 8), dtype=np.float64))
+        compile_region(_chain_region(shape=(2, 2, 8), dtype=np.float32))
+    after = codegen_stats()
+    assert after["compiled"] == before["compiled"] + 3
+    assert len(list(cache_dir.glob("*.so"))) == 3
+
+
+@needs_cc
+def test_corrupted_cache_entry_recompiles(cache_dir, tmp_path_factory, monkeypatch):
+    # Compile in a scratch cache only to learn the entry's content-addressed
+    # filename, then plant a garbage .so under that name in a *fresh* cache
+    # dir.  (Corrupting the scratch copy in place would be unsound: it is
+    # still mmapped by this process, and overwriting a mapped .so faults.)
+    region = _chain_region()
+    arrays = _arrays(region)
+    scratch = tmp_path_factory.mktemp("kernels-scratch")
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(scratch))
+    with using_codegen(True):
+        assert compile_region(region).is_compiled
+    (so_path,) = scratch.glob("*.so")
+
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(cache_dir))
+    (cache_dir / so_path.name).write_bytes(b"not a shared object")
+    clear_kernel_memo()
+    before = codegen_stats()
+    with using_codegen(True):
+        kern = compile_region(region)
+    after = codegen_stats()
+    assert kern.is_compiled
+    assert after["compiled"] == before["compiled"] + 1  # recompiled, no crash
+    expect = np.maximum(arrays[0] * arrays[1] + arrays[2], 0.0)
+    assert kern(arrays).tobytes() == expect.tobytes()
+
+
+@needs_cc
+def test_const_inputs_are_bound_not_passed(cache_dir):
+    shift = np.full((8,), -0.25, np.float32)
+    inputs = [
+        RegionInput(np.float32, (4, 8)),
+        RegionInput(np.float32, (8,), const=shift),
+    ]
+    region = RegionIR(inputs, [("add", (0, 1)), ("relu", (2,))], (4, 8), np.float32)
+    assert region.num_dynamic == 1
+    x = np.random.default_rng(5).standard_normal((4, 8)).astype(np.float32)
+    expect = np.maximum(x + shift, 0.0)
+    with using_codegen(True):
+        kern = compile_region(region)
+    assert kern([x]).tobytes() == expect.tobytes()
+    with using_codegen(False):
+        interp = compile_region(region)
+    assert interp([x]).tobytes() == expect.tobytes()
+
+
+def test_codegen_counters_exported_to_registry(cache_dir):
+    from repro.obs.metrics import get_registry
+
+    region = _chain_region()
+    with using_codegen(False):
+        compile_region(region)
+    text = get_registry().render()
+    assert "repro_codegen_fallback_total" in text

@@ -30,33 +30,36 @@ def test_linear_relu_fuses_into_one_node():
     assert out._node.inputs == (x, w)
 
 
-def test_mul_add_wins_over_add_relu_in_a_chain():
-    # mul → add → relu: the topo-order pass fuses mul+add first; the relu
-    # then sees a fused producer and stays separate.
+def test_mul_add_relu_chain_becomes_one_region():
+    # mul → add → relu: the whole elementwise chain collapses into one
+    # region node (the old pass could only take the mul+add pair).
     x = Tensor([1.0, -2.0], requires_grad=True)
     s = Tensor([3.0, 4.0], requires_grad=True)
     t = Tensor([0.5, 0.5], requires_grad=True)
     out = (x * s + t).relu()
     stats = fusion.fuse(out)
-    assert stats == {"mul_add": 1}
-    assert out._node.op == "relu"
-    assert out._node.inputs[0]._node.op == "mul_add"
+    assert stats == {"region": 1}
+    assert out._node.op == "region"
+    assert out._node.attrs["size"] == 3
+    assert [op for op, _ in out._node.attrs["region"].ops] == ["mul", "add", "relu"]
+    assert out._node.inputs == (x, s, t)
 
 
-def test_add_relu_fuses_without_a_mul_producer():
+def test_add_relu_fuses_into_a_region():
     a = Tensor([1.0, -2.0], requires_grad=True)
     b = Tensor([3.0, -4.0], requires_grad=True)
     out = (a + b).relu()
-    assert fusion.fuse(out) == {"add_relu": 1}
-    assert out._node.op == "add_relu"
+    assert fusion.fuse(out) == {"region": 1}
+    assert out._node.op == "region"
+    assert out._node.attrs["size"] == 2
 
 
-def test_mul_add_matches_either_addend_side():
+def test_region_matches_either_addend_side():
     a = Tensor([1.0, 2.0], requires_grad=True)
     b = Tensor([3.0, 4.0], requires_grad=True)
     c = Tensor([5.0, 6.0], requires_grad=True)
     out = c + a * b  # the mul is the *right* operand of add
-    assert fusion.fuse(out) == {"mul_add": 1}
+    assert fusion.fuse(out) == {"region": 1}
     out.backward(np.ones(2, dtype=np.float32))
     np.testing.assert_array_equal(a.grad, b.data)
     np.testing.assert_array_equal(c.grad, [1.0, 1.0])

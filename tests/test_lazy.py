@@ -1,0 +1,158 @@
+"""Lazy backend tests: deferral, flush points, and bit-equality to numpy."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.backend import LazyArray, get_backend, pause_deferral, set_deferral, use_backend
+from repro.backend.lazy import deferral_enabled
+
+
+@pytest.fixture
+def lazy_be():
+    with use_backend("lazy") as be:
+        yield be
+
+
+def _pair(shape=(4, 8), dtype=np.float32, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal(shape).astype(dtype),
+        rng.standard_normal(shape).astype(dtype),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Deferral mechanics
+# --------------------------------------------------------------------------- #
+def test_elementwise_primitives_defer(lazy_be):
+    a, b = _pair()
+    r = lazy_be.relu(lazy_be.add(lazy_be.multiply(a, b), a))
+    assert isinstance(r, LazyArray)
+    assert r._value is None and r.nops == 3
+    # Metadata reads do not force.
+    assert r.shape == (4, 8) and r.dtype == np.float32 and r.ndim == 2
+    assert r._value is None
+    expect = np.maximum(a * b + a, 0.0)
+    assert np.asarray(r).tobytes() == expect.tobytes()
+    # Forced once; the concrete value is cached and srcs dropped.
+    assert r._value is not None and r.srcs == ()
+
+
+def test_shared_subexpression_flushes_as_one_dag(lazy_be):
+    a, b = _pair()
+    s = lazy_be.add(a, b)
+    r = lazy_be.multiply(s, s)  # one pending node used twice
+    assert isinstance(r, LazyArray)
+    expect = np.multiply(np.add(a, b), np.add(a, b))
+    assert np.asarray(r).tobytes() == expect.tobytes()
+
+
+def test_matmul_and_reductions_force(lazy_be):
+    a, b = _pair()
+    m = lazy_be.matmul(lazy_be.add(a, b), b.T)
+    assert isinstance(m, np.ndarray)
+    assert m.tobytes() == np.matmul(a + b, b.T).tobytes()
+    s = lazy_be.sum(lazy_be.multiply(a, b), axis=0)
+    assert isinstance(s, np.ndarray)
+    assert s.tobytes() == (a * b).sum(axis=0).tobytes()
+
+
+def test_mixed_dtype_falls_through_eager(lazy_be):
+    a = np.ones((3,), np.float32)
+    b = np.ones((3,), np.float64)
+    r = lazy_be.add(a, b)
+    assert isinstance(r, np.ndarray)  # dtype promotion stays numpy's business
+    assert r.dtype == np.float64
+    i = lazy_be.multiply(np.arange(3), np.arange(3))
+    assert isinstance(i, np.ndarray)  # ints never defer
+
+
+def test_long_chains_are_capped(lazy_be):
+    a, b = _pair()
+    acc = a
+    for _ in range(100):
+        acc = lazy_be.add(acc, b)
+    assert isinstance(acc, LazyArray)
+    from repro.backend.lazy import _MAX_CHAIN
+
+    assert acc.nops <= _MAX_CHAIN + 1
+    expect = a.copy()
+    for _ in range(100):
+        expect = np.add(expect, b)
+    assert np.asarray(acc).tobytes() == expect.tobytes()
+
+
+def test_set_deferral_and_pause(lazy_be):
+    a, b = _pair()
+    assert deferral_enabled()
+    prev = set_deferral(False)
+    try:
+        assert prev is True
+        r = lazy_be.add(a, b)
+        assert isinstance(r, np.ndarray)
+    finally:
+        set_deferral(prev)
+    with pause_deferral():
+        assert not deferral_enabled()
+        assert isinstance(lazy_be.multiply(a, b), np.ndarray)
+    assert deferral_enabled()
+    assert isinstance(lazy_be.multiply(a, b), LazyArray)
+
+
+def test_lazy_array_python_protocols(lazy_be):
+    a, b = _pair()
+    r = lazy_be.add(a, b)
+    expect = a + b
+    assert len(r) == 4
+    assert float(r.sum()) == pytest.approx(float(expect.sum()))
+    assert (r[0] == expect[0]).all()
+    assert ((r > 0.0) == (expect > 0.0)).all()
+    assert (r + 1.0).tobytes() == (expect + 1.0).tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# Bit-equality through the full stack
+# --------------------------------------------------------------------------- #
+def _train_step():
+    rng = np.random.default_rng(42)
+    x = Tensor(rng.standard_normal((8, 16)).astype(np.float32), requires_grad=True)
+    w = Tensor(rng.standard_normal((16, 4)).astype(np.float32), requires_grad=True)
+    s = Tensor(rng.standard_normal((8, 4)).astype(np.float32), requires_grad=True)
+    h = F.linear(x, w)
+    loss = ((h * s + s).relu() * h).mean()
+    loss.backward()
+    return loss.numpy().copy(), x.grad.copy(), w.grad.copy(), s.grad.copy()
+
+
+def test_training_step_bit_equal_to_numpy_backend():
+    with use_backend("numpy"):
+        ref = _train_step()
+    with use_backend("lazy"):
+        lazy = _train_step()
+    for r, l in zip(ref, lazy):
+        assert isinstance(l, np.ndarray)
+        assert r.tobytes() == l.tobytes()
+
+
+def test_backward_pauses_deferral_and_restores_it():
+    with use_backend("lazy"):
+        x = Tensor(np.array([1.0, -2.0, 3.0], np.float32), requires_grad=True)
+        y = (x * 2.0).relu().sum()
+        y.backward()
+        # Gradients are concrete (the thunk loop ran eagerly)...
+        assert isinstance(x.grad, np.ndarray)
+        assert x.grad.tobytes() == np.array([2.0, 0.0, 2.0], np.float32).tobytes()
+        # ...and deferral is back on afterwards.
+        assert deferral_enabled()
+        assert isinstance(get_backend().add(x.data, x.data), LazyArray)
+
+
+def test_tensor_numpy_swaps_concrete_value_back():
+    with use_backend("lazy"):
+        x = Tensor(np.array([1.0, 2.0], np.float32))
+        y = x * 3.0 + 1.0
+        out = y.numpy()
+        assert isinstance(out, np.ndarray)
+        assert isinstance(y.data, np.ndarray)  # flushed in place
+        assert out.tobytes() == np.array([4.0, 7.0], np.float32).tobytes()

@@ -85,6 +85,36 @@ def test_tbnet_session_is_bit_equal_to_eager(backend):
         )
 
 
+class _ScaleShiftRelu(nn.Module):
+    """An elementwise tail the fusion pass extracts as one region."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.lin = nn.Linear(12, 8, rng=rng)
+        self.scale = nn.Parameter(Tensor(np.full((8,), 1.5, np.float32)))
+        self.shift = nn.Parameter(Tensor(np.full((8,), -0.25, np.float32)))
+
+    def forward(self, x):
+        h = self.lin(x)
+        return (h * self.scale + self.shift).relu()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_session_emits_region_kernel_and_stays_bit_equal(backend):
+    rng = np.random.default_rng(9)
+    with use_backend(backend):
+        model = _ScaleShiftRelu(rng).eval()
+        x = rng.standard_normal((8, 12)).astype(np.float32)
+        session = compile_inference(model, x)
+        assert session.fused_counts.get("region") == 1
+        assert session.op_counts.get("region") == 1
+        for _ in range(3):
+            batch = rng.standard_normal((8, 12)).astype(np.float32)
+            with no_grad():
+                expected = model(batch).data
+            np.testing.assert_array_equal(session.run(batch), expected)
+
+
 def test_parameters_are_bound_by_reference():
     rng = np.random.default_rng(4)
     model = nn.Sequential(nn.Linear(6, 3, rng=rng))
