@@ -33,6 +33,7 @@ the eager ufunc, so semantics never change, only batching.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -48,7 +49,12 @@ __all__ = [
     "set_deferral",
 ]
 
-_DEFER = True
+#: Per-thread deferral state (default: deferring).  Thread-local because
+#: ``Tensor.backward`` pauses deferral with save/restore around its thunk
+#: loop: two concurrent backward passes on a process-wide flag would
+#: restore each other's value mid-run, re-enabling deferral inside a
+#: backward and handing ``_accumulate_fresh`` a LazyArray as ``.grad``.
+_DEFER = threading.local()
 
 #: Cap on ops per flushed region (mirrors the fusion pass): bounds the
 #: generated-C size; an over-long chain forces its deepest operand and
@@ -67,15 +73,14 @@ _UFUNC = {
 
 
 def deferral_enabled() -> bool:
-    """Whether lazy primitives currently defer (vs. compute eagerly)."""
-    return _DEFER
+    """Whether lazy primitives defer (vs. compute eagerly) on this thread."""
+    return getattr(_DEFER, "flag", True)
 
 
 def set_deferral(flag: bool) -> bool:
-    """Set the deferral flag; returns the previous value (for restore)."""
-    global _DEFER
-    previous = _DEFER
-    _DEFER = bool(flag)
+    """Set this thread's deferral flag; returns the previous value."""
+    previous = getattr(_DEFER, "flag", True)
+    _DEFER.flag = bool(flag)
     return previous
 
 
@@ -307,7 +312,7 @@ class LazyBackend(NumpyBackend):
 
     # ---- deferred elementwise primitives ------------------------------ #
     def _defer_binary(self, op: str, a, b):
-        if _DEFER:
+        if deferral_enabled():
             ma, mb = _operand(a), _operand(b)
             if ma is not None and mb is not None and ma[1] == mb[1]:
                 try:
@@ -330,7 +335,7 @@ class LazyBackend(NumpyBackend):
         return self._defer_binary("div", a, b)
 
     def negative(self, a):
-        if _DEFER:
+        if deferral_enabled():
             ma = _operand(a)
             if ma is not None:
                 a = _maybe_force_long_chain(a)
@@ -338,7 +343,7 @@ class LazyBackend(NumpyBackend):
         return np.negative(_concrete(a))
 
     def relu(self, x):
-        if _DEFER:
+        if deferral_enabled():
             mx = _operand(x)
             if mx is not None:
                 x = _maybe_force_long_chain(x)

@@ -55,6 +55,7 @@ from repro.autograd import fusion, ir
 from repro.autograd.tensor import Tensor, no_grad
 from repro.backend import get_backend, use_backend
 from repro.backend.fused import FusedNumpyBackend
+from repro.backend.lazy import LazyBackend, pause_deferral, set_deferral
 from repro.backend.numpy_backend import NumpyBackend
 from repro.nn.module import Module
 from repro.obs.profile import active_profiler
@@ -210,7 +211,12 @@ def compile_inference(model: Module, example_batch, fuse: bool = True) -> "Infer
             "model.eval() first"
         )
     inputs = _as_input_tensors(example_batch)
-    with no_grad(), ir.capture() as graph:
+    # Deferral paused for the capture: under the lazy backend an eager
+    # elementwise chain would record LazyArray outputs, which the fusion
+    # pass cannot extract regions from and the specialized emitters cannot
+    # pre-allocate against.  The captured trace *is* the region plan here,
+    # so deferring during it buys nothing.
+    with no_grad(), pause_deferral(), ir.capture() as graph:
         output = model(*inputs)
     if not isinstance(output, Tensor):
         raise TypeError(
@@ -251,6 +257,10 @@ class InferenceSession:
         model: Optional[Module] = None,
     ) -> None:
         self._be = backend
+        #: Replay must see concrete arrays: a deferring backend would hand
+        #: the generic steps LazyArrays (and the caller a lazy output), so
+        #: ``run`` pauses deferral for the step loop on such backends.
+        self._pause_deferral = isinstance(backend, LazyBackend)
         self._model = model
         self._input_meta = [(t.data.shape, t.data.dtype) for t in inputs]
         self.fused_counts = dict(fused_counts or {})
@@ -355,19 +365,24 @@ class InferenceSession:
                     "recompile with an example of the new dtype)"
                 )
             values[i] = arr
-        profiler = active_profiler()
-        if profiler is None:
-            for step in self._steps:
-                step(values)
-        else:
-            # Timing-only instrumentation: the exact same step closures run
-            # in the exact same order, so results stay bit-identical.
-            perf = time.perf_counter
-            for op, step in zip(self._step_ops, self._steps):
-                start = perf()
-                step(values)
-                profiler.record("serve:" + op, perf() - start)
-        result = self._get_output(values)
+        prev_defer = set_deferral(False) if self._pause_deferral else None
+        try:
+            profiler = active_profiler()
+            if profiler is None:
+                for step in self._steps:
+                    step(values)
+            else:
+                # Timing-only instrumentation: the exact same step closures
+                # run in the exact same order, so results stay bit-identical.
+                perf = time.perf_counter
+                for op, step in zip(self._step_ops, self._steps):
+                    start = perf()
+                    step(values)
+                    profiler.record("serve:" + op, perf() - start)
+            result = self._get_output(values)
+        finally:
+            if prev_defer is not None:
+                set_deferral(prev_defer)
         # Drop the slot references (caller inputs, generic-step outputs) so
         # a long-lived session does not pin the last batch between calls;
         # the pre-allocated emitter buffers live in the step closures.
@@ -398,8 +413,9 @@ class InferenceSession:
                 f"({training[:3]}); call model.eval() before serving"
             )
         # Pin the compile-time backend: full chunks replay under it, so the
-        # tail must too — one request stream, one set of numerics.
-        with use_backend(self._be), no_grad():
+        # tail must too — one request stream, one set of numerics.  Deferral
+        # paused so a lazy backend hands back a concrete output array.
+        with use_backend(self._be), no_grad(), pause_deferral():
             out = model(
                 *(
                     Tensor(a, dtype=meta[1])
@@ -517,7 +533,15 @@ class InferenceSession:
             # One codegen'd kernel for the whole extracted elementwise
             # region (compiled C when available, the bit-equal numpy
             # interpreter otherwise), writing into a pre-allocated buffer.
-            kern = be.compile_region(attrs["region"])
+            # The fusion plan cache is structure-keyed, so the recorded
+            # RegionIR may carry the shapes of an earlier, differently-sized
+            # trace; respecialize to this trace's live shapes before
+            # compiling (mirrors replay's _region_for_arrays).
+            region = attrs["region"]
+            shapes = [t.data.shape for t in node.inputs]
+            if [inp.shape for inp in region.inputs if inp.const is None] != shapes:
+                region = region.respecialize(shapes)
+            kern = be.compile_region(region)
             buf = np.empty(example.shape, example.dtype)
 
             def step(values):
@@ -698,12 +722,14 @@ def _is_builtin_backend(be) -> bool:
 
     The specialized step emitters rewrite kernels as raw in-place numpy
     chains that are validated bit-equal against :class:`NumpyBackend` and
-    :class:`FusedNumpyBackend` — but only against those.  Any other backend
-    (a subclass with overridden methods, a third-party registration) gets
-    the generic IR evaluators, which dispatch every operation through the
-    backend itself.
+    :class:`FusedNumpyBackend` — but only against those.
+    :class:`LazyBackend` also qualifies: sessions capture and replay with
+    deferral paused, where its primitives *are* ``NumpyBackend``'s.  Any
+    other backend (a subclass with overridden methods, a third-party
+    registration) gets the generic IR evaluators, which dispatch every
+    operation through the backend itself.
     """
-    return type(be) in (NumpyBackend, FusedNumpyBackend)
+    return type(be) in (NumpyBackend, FusedNumpyBackend, LazyBackend)
 
 
 def serve_batches(

@@ -156,3 +156,86 @@ def test_tensor_numpy_swaps_concrete_value_back():
         assert isinstance(out, np.ndarray)
         assert isinstance(y.data, np.ndarray)  # flushed in place
         assert out.tobytes() == np.array([4.0, 7.0], np.float32).tobytes()
+
+
+def test_deferral_flag_is_thread_local(lazy_be):
+    # backward() pauses deferral with save/restore; if the flag were a
+    # process-wide global, two overlapping backward passes would restore
+    # each other's value mid-run and _accumulate_fresh could adopt a
+    # LazyArray as .grad.  Pausing on one thread must not leak to another.
+    import threading
+
+    paused = threading.Event()
+    release = threading.Event()
+    seen = {}
+
+    def worker():
+        previous = set_deferral(False)
+        paused.set()
+        release.wait(timeout=30)
+        seen["worker_defers"] = deferral_enabled()
+        set_deferral(previous)
+
+    t = threading.Thread(target=worker)
+    t.start()
+    assert paused.wait(timeout=30)
+    # This thread still defers while the worker has deferral off.
+    assert deferral_enabled()
+    assert isinstance(lazy_be.add(*_pair()), LazyArray)
+    release.set()
+    t.join(timeout=30)
+    assert seen["worker_defers"] is False
+
+
+def test_concurrent_backward_passes_keep_grads_concrete():
+    import threading
+
+    barrier = threading.Barrier(2, timeout=30)
+    failures = []
+
+    def run():
+        try:
+            x = Tensor(np.linspace(-1, 1, 64, dtype=np.float32), requires_grad=True)
+            barrier.wait()
+            for _ in range(50):
+                ((x * 2.0 + x).relu().sum()).backward()
+                assert type(x.grad) is np.ndarray
+                x.grad = None
+        except Exception as exc:  # pragma: no cover - failure path
+            failures.append(exc)
+
+    with use_backend("lazy"):
+        threads = [threading.Thread(target=run) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+    assert not failures, failures
+
+
+def test_compiled_session_under_lazy_matches_numpy():
+    # Serving pauses deferral at capture and replay: the session must fuse
+    # regions, reuse its output buffer, and score bit-identically to the
+    # numpy backend.
+    from repro import nn
+    from repro.autograd import fusion
+    from repro.serve import compile_inference
+
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((4, 8)).astype(np.float32)
+
+    def build():
+        r = np.random.default_rng(3)
+        model = nn.Sequential(nn.Linear(8, 8, rng=r), nn.ReLU(), nn.Linear(8, 3, rng=r))
+        model.eval()
+        return model
+
+    with fusion.using_fusion(True):
+        with use_backend("numpy"):
+            ref = compile_inference(build(), x).run(x).copy()
+        with use_backend("lazy"):
+            session = compile_inference(build(), x)
+            first = session.run(x)
+            assert type(first) is np.ndarray
+            assert first.tobytes() == ref.tobytes()
+            assert session.run(rng.standard_normal((4, 8)).astype(np.float32)) is first

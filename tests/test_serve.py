@@ -151,6 +151,34 @@ def test_batch_norm_statistics_are_frozen_at_compile():
         np.testing.assert_array_equal(recompiled.run(x), model(x).data)
 
 
+def test_region_sessions_compile_per_trace_shapes():
+    # The fusion plan cache is keyed on tape *structure*, not shapes, so a
+    # second compile at a new batch size key-matches the first trace's plan
+    # — whose recorded RegionIR carries the first trace's shapes.  The
+    # emitter must respecialize to the live trace before compiling
+    # (regression: every run() of the second session raised a region input
+    # shape mismatch).
+    class Scale(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.w = Tensor(np.full((8,), 2.0, np.float32), requires_grad=True)
+
+        def forward(self, x):
+            return (x * self.w + x).relu()
+
+    model = Scale()
+    model.eval()
+
+    def batch(n):
+        return np.arange(n * 8, dtype=np.float32).reshape(n, 8) - 16.0
+
+    sessions = [(n, compile_inference(model, batch(n))) for n in (8, 4, 1, 8)]
+    for n, session in sessions:
+        x = batch(n)
+        expected = np.maximum(x * 2.0 + x, 0.0)
+        assert session.run(x).tobytes() == expected.tobytes()
+
+
 def test_output_buffer_is_reused_across_calls():
     rng = np.random.default_rng(5)
     model = nn.Sequential(nn.Linear(4, 2, rng=rng), nn.ReLU())
