@@ -62,7 +62,16 @@ Workloads
     with ``NULL_REGISTRY`` and tracing off — with interleaved rounds whose
     paired per-round ratios are median-merged; the ``observability``
     section records ``overhead_frac`` (``on/off - 1``; the acceptance
-    budget is < 3%).
+    budget is < 3%).  A **process-serving** pair (headline backend only)
+    reruns the queued burst on a thread ``Server`` vs a ``ProcServer``
+    (worker processes over shared-memory arenas) and adds an **open-loop**
+    arrival-rate sweep — requests submitted on a fixed schedule regardless
+    of completions, client-side p99 per offered rate — reporting each
+    arm's sustained throughput at a 50 ms p99 SLO; ratios land under
+    ``serving`` (``serve_proc/.../process_vs_thread``,
+    ``serve_openloop/.../process_vs_thread_slo``) and the raw sweep under
+    ``process_serving``.  Process sharding only pays on multi-core hosts;
+    single-core runs record a ratio < 1 by design.
 
 Every repro-engine workload runs once per **array backend** (``--backend``,
 default: ``numpy fused``), so the JSON records per-backend numbers:
@@ -496,6 +505,160 @@ def run_serve_overload(
             "stats": stats,
         }
     return reports
+
+
+def run_serve_procpool(
+    n_requests: int,
+    buckets,
+    workers: int,
+    max_wait: float,
+    rng: np.random.Generator,
+    rounds: int,
+) -> Dict:
+    """Closed-loop burst: thread-sharded vs process-sharded serving.
+
+    The same single-sample TBNet burst drains through a thread
+    :class:`repro.serve.Server` and a :class:`repro.serve.ProcServer`
+    (worker processes over shared-memory arenas/rings) built with
+    identical buckets/workers/max_wait.  Rounds interleave the two arms so
+    both sample the same load conditions; the best round survives.  On a
+    single core the process arm pays IPC for no parallelism and loses; on
+    a multi-core host it escapes the interpreter serialization that caps
+    thread workers on small (GIL-bound, not BLAS-bound) batches.
+    """
+    model = TBNet(width=16, rng=rng)
+    model.eval()
+    images, context, _ = make_synthetic_batch(n_requests, rng=rng)
+    img, ctx = images.data, context.data
+    samples = [(img[i : i + 1], ctx[i : i + 1]) for i in range(n_requests)]
+
+    servers = {
+        "thread": serve.Server(
+            model, (img[:1], ctx[:1]), buckets,
+            workers=workers, max_wait=max_wait,
+        ),
+        "process": serve.ProcServer(
+            model, (img[:1], ctx[:1]), buckets,
+            workers=workers, max_wait=max_wait,
+            model_factory=model.spawn_factory(),
+        ),
+    }
+    timings = {"thread": float("inf"), "process": float("inf")}
+    stats: Dict[str, Dict] = {}
+    try:
+        for server in servers.values():
+            server.start()
+
+        def burst(server) -> None:
+            for future in [server.submit(si, sc) for si, sc in samples]:
+                future.result()
+
+        for server in servers.values():
+            burst(server)  # warmup (process arm also pays worker compile here)
+        for _ in range(max(2, rounds)):
+            for mode, server in servers.items():
+                start = time.perf_counter()
+                burst(server)
+                timings[mode] = min(timings[mode], time.perf_counter() - start)
+        for mode, server in servers.items():
+            snap = server.stats()
+            stats[mode] = {
+                "batch_occupancy": snap["batch_occupancy"],
+                "latency_ms_p99": snap["latency_ms_p99"],
+            }
+        stats["process"]["start_method"] = servers["process"].start_method
+    finally:
+        for server in servers.values():
+            server.stop()
+    return {"timings": timings, "stats": stats}
+
+
+def run_serve_openloop(
+    rates,
+    duration: float,
+    slo_ms: float,
+    buckets,
+    workers: int,
+    max_wait: float,
+    rng: np.random.Generator,
+) -> Dict:
+    """Open-loop arrival-rate sweep: throughput at a p99 latency SLO.
+
+    Closed-loop bursts hide queueing delay (each client waits for its
+    result before "sending" the next request); an open loop submits on a
+    fixed arrival schedule regardless of completions, so latency includes
+    the backlog a too-slow server accumulates — the standard way serving
+    capacity is stated.  Both arms (thread Server, ProcServer) sweep the
+    same absolute rate grid; per rate the client-side latency of every
+    request is captured in a done-callback and the report records the p99
+    and the achieved throughput.  ``sustained_rps`` per arm is the
+    achieved throughput of the highest offered rate whose p99 stayed
+    within ``slo_ms``.
+    """
+    model = TBNet(width=16, rng=rng)
+    model.eval()
+    pool_n = 64
+    images, context, _ = make_synthetic_batch(pool_n, rng=rng)
+    img, ctx = images.data, context.data
+    samples = [(img[i : i + 1], ctx[i : i + 1]) for i in range(pool_n)]
+
+    def sweep(server) -> Dict:
+        per_rate = {}
+        for future in [server.submit(si, sc) for si, sc in samples]:
+            future.result()  # warmup
+        for rate in rates:
+            n = max(8, int(rate * duration))
+            latencies: List[float] = []
+            futures = []
+            t0 = time.perf_counter()
+            for i in range(n):
+                target = t0 + i / rate
+                now = time.perf_counter()
+                if target > now:
+                    time.sleep(target - now)
+                si, sc = samples[i % pool_n]
+                sent = time.perf_counter()
+                future = server.submit(si, sc)
+                future.add_done_callback(
+                    lambda f, s=sent: latencies.append(time.perf_counter() - s)
+                )
+                futures.append(future)
+            for future in futures:
+                future.result()
+            elapsed = time.perf_counter() - t0
+            lat = sorted(latencies)
+            per_rate[rate] = {
+                "offered_rps": rate,
+                "achieved_rps": n / elapsed,
+                "p50_ms": lat[len(lat) // 2] * 1e3,
+                "p99_ms": lat[min(len(lat) - 1, int(len(lat) * 0.99))] * 1e3,
+                "requests": n,
+            }
+        return per_rate
+
+    report: Dict[str, Dict] = {"slo_ms": slo_ms, "rates": {}, "sustained_rps": {}}
+    for mode in ("thread", "process"):
+        if mode == "thread":
+            server = serve.Server(
+                model, (img[:1], ctx[:1]), buckets,
+                workers=workers, max_wait=max_wait,
+            )
+        else:
+            server = serve.ProcServer(
+                model, (img[:1], ctx[:1]), buckets,
+                workers=workers, max_wait=max_wait,
+                model_factory=model.spawn_factory(),
+            )
+        server.start()
+        try:
+            per_rate = sweep(server)
+        finally:
+            server.stop()
+        report["rates"][mode] = per_rate
+        passing = [r["achieved_rps"] for r in per_rate.values()
+                   if r["p99_ms"] <= slo_ms]
+        report["sustained_rps"][mode] = max(passing, default=0.0)
+    return report
 
 
 def run_obs_overhead(
@@ -939,6 +1102,63 @@ def main(argv=None) -> int:
             f" (on={obs_report['on_ms']:.1f}ms off={obs_report['off_ms']:.1f}ms)"
         )
 
+    # Process-sharded serving: thread vs process workers on the same burst,
+    # plus the open-loop arrival-rate sweep (throughput at a p99 SLO).
+    # Headline backend only — the comparison is worker substrate, not
+    # kernels, and the process arm pays a worker-compile warmup per server.
+    process_serving: Dict[str, Dict] = {}
+    proc_backend = "fused" if "fused" in backends else backends[0]
+    openloop_rates = [50, 100, 200] if quick else [100, 200, 400, 800]
+    openloop_duration = 0.25 if quick else 0.5
+    openloop_slo_ms = 50.0
+    with use_backend(proc_backend):
+        proc_report = run_serve_procpool(
+            serve_requests, serve_buckets, serve_workers, 0.001,
+            np.random.default_rng(8300), rounds,
+        )
+        open_report = run_serve_openloop(
+            openloop_rates, openloop_duration, openloop_slo_ms,
+            serve_buckets, serve_workers, 0.001,
+            np.random.default_rng(8400),
+        )
+    thread_s = proc_report["timings"]["thread"]
+    process_s = proc_report["timings"]["process"]
+    for mode, seconds in proc_report["timings"].items():
+        rec = {
+            "workload": "serve_proc", "engine": mode, "batch": 1,
+            "backend": proc_backend, "requests": serve_requests,
+            "workers": serve_workers, "total_ms": seconds * 1e3,
+            "throughput_rps": serve_requests / seconds,
+            "latency_ms_p99": proc_report["stats"][mode]["latency_ms_p99"],
+        }
+        results.append(rec)
+        print(
+            f"{'serve_p':9s}{mode + '/' + proc_backend:14s}"
+            f" reqs={serve_requests:<4d}"
+            f" {rec['throughput_rps']:8.0f} req/s"
+        )
+    sustained = open_report["sustained_rps"]
+    process_serving[proc_backend] = {
+        "workers": serve_workers,
+        "cores": os.cpu_count(),
+        "start_method": proc_report["stats"]["process"]["start_method"],
+        "burst": {
+            "thread_rps": serve_requests / thread_s,
+            "process_rps": serve_requests / process_s,
+            "process_vs_thread": thread_s / process_s,
+        },
+        "openloop": open_report,
+    }
+    if sustained["thread"] > 0:
+        process_serving[proc_backend]["openloop"]["process_vs_thread_slo"] = (
+            sustained["process"] / sustained["thread"]
+        )
+    print(
+        f"{'serve_p':9s}{'openloop':14s} slo={openloop_slo_ms:.0f}ms"
+        f" thread={sustained['thread']:.0f} rps"
+        f" process={sustained['process']:.0f} rps"
+    )
+
     # Headline speedups keep their historical keys and semantics (seed engine
     # vs. repro); the repro side is the fused backend when it was measured,
     # since the fused backend is the successor of the old inline kernels.
@@ -1030,6 +1250,16 @@ def main(argv=None) -> int:
                 serving[f"serve_queue/{bname}/overload_p99_unbounded_vs_shed"] = (
                     rows["overload_unbounded"]["latency_ms_p99"] / shed_p99
                 )
+    for bname, section in process_serving.items():
+        # Worker-substrate ratios: > 1.0 means process sharding beats
+        # thread sharding (expect < 1.0 on a single core, where the
+        # process arm pays IPC for no parallelism).
+        serving[f"serve_proc/{bname}/process_vs_thread"] = (
+            section["burst"]["process_vs_thread"]
+        )
+        slo_ratio = section["openloop"].get("process_vs_thread_slo")
+        if slo_ratio is not None:
+            serving[f"serve_openloop/{bname}/process_vs_thread_slo"] = slo_ratio
 
     # Module-vs-functional ratios are overhead measurements, not seed-engine
     # speedups, so they live under their own key: the ROADMAP's "beat the
@@ -1048,7 +1278,7 @@ def main(argv=None) -> int:
     from repro.codegen import codegen_stats, have_compiler
 
     report = {
-        "schema": "bench_autograd/v7",
+        "schema": "bench_autograd/v8",
         "meta": {
             "python": platform.python_version(),
             "numpy": np.__version__,
@@ -1081,6 +1311,7 @@ def main(argv=None) -> int:
         "serving": serving,
         "resilience": resilience,
         "observability": observability,
+        "process_serving": process_serving,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)

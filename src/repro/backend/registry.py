@@ -36,9 +36,11 @@ __all__ = [
     "available_backends",
     "default_rng",
     "get_backend",
+    "get_rng_state",
     "manual_seed",
     "register_backend",
     "set_backend",
+    "set_rng_state",
     "use_backend",
 ]
 
@@ -129,6 +131,26 @@ def manual_seed(seed: int) -> np.random.Generator:
 
 def default_rng() -> np.random.Generator:
     """The current global generator (see :func:`manual_seed`)."""
+    return _global_rng
+
+
+def get_rng_state() -> dict:
+    """A picklable snapshot of the global generator's state.
+
+    :class:`~repro.serve.procpool.ProcServer` ships this to worker
+    processes so seeded randomness carries across ``fork`` *and* ``spawn``
+    start methods; :func:`set_rng_state` applies it on the other side.
+    """
+    return _global_rng.bit_generator.state
+
+
+def set_rng_state(state: dict) -> np.random.Generator:
+    """Install a state captured by :func:`get_rng_state` into a fresh
+    global generator (the bit-generator class comes from the snapshot)."""
+    global _global_rng
+    bit_generator = getattr(np.random, state["bit_generator"])()
+    bit_generator.state = state
+    _global_rng = np.random.Generator(bit_generator)
     return _global_rng
 
 

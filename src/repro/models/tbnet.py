@@ -69,6 +69,8 @@ class TBNet(nn.Module):
         self.image_size = int(image_size)
         self.context_dim = int(context_dim)
         self.num_classes = int(num_classes)
+        self.width = int(width)
+        self.dropout_rate = float(dropout)
 
         c1, c2 = width, 2 * width
         spatial_dim = c2 * (image_size // 4) ** 2
@@ -151,11 +153,33 @@ class TBNet(nn.Module):
         context = Tensor.zeros(batch_size, self.context_dim)
         return compile_inference(self, (images, context), fuse=fuse)
 
+    def spawn_factory(self):
+        """A picklable zero-arg callable rebuilding this architecture.
+
+        :class:`repro.serve.ProcServer` workers under the ``spawn`` start
+        method reconstruct the model from this and take the actual
+        weights from the shared-memory arena, so the factory only has to
+        get the architecture right.
+        """
+        import functools
+
+        return functools.partial(
+            TBNet,
+            in_channels=self.in_channels,
+            image_size=self.image_size,
+            context_dim=self.context_dim,
+            num_classes=self.num_classes,
+            width=self.width,
+            dropout=self.dropout_rate,
+        )
+
     def serve(
         self,
         buckets=(1, 4, 16, 64),
         *,
         workers: int = 1,
+        workers_mode: str = "thread",
+        start_method: Optional[str] = None,
         max_batch_size: Optional[int] = None,
         max_wait: float = 0.002,
         fuse: bool = True,
@@ -187,26 +211,53 @@ class TBNet(nn.Module):
         read it back from ``server.serve_http().port``).  Requires
         ``start=True``.
 
-        Parameters are bound by reference, so in-place fine-tuning shows up
-        on every worker without recompiling.
+        ``workers_mode="thread"`` (default) shards across worker threads
+        with parameters bound by reference, so in-place fine-tuning shows
+        up on every worker without recompiling.  ``workers_mode="process"``
+        builds a :class:`repro.serve.ProcServer` instead — OS worker
+        processes over shared-memory parameter arenas (``start_method``
+        picks ``fork``/``spawn``); there, hot weight updates go through
+        ``server.publish_weights()``.
         """
-        from repro.serve import Server  # deferred: serve sits above models
+        # Deferred: serve sits above models.
+        from repro.serve import ProcServer, Server
 
+        if workers_mode not in ("thread", "process"):
+            raise ValueError(
+                f"workers_mode must be 'thread' or 'process', got "
+                f"{workers_mode!r}"
+            )
+        if workers_mode == "thread" and start_method is not None:
+            raise ValueError("start_method only applies to workers_mode='process'")
         self.eval()
         example = (
             Tensor.zeros(1, self.in_channels, self.image_size, self.image_size),
             Tensor.zeros(1, self.context_dim),
         )
-        server = Server(
-            self,
-            example,
-            buckets,
-            workers=workers,
-            max_batch_size=max_batch_size,
-            max_wait=max_wait,
-            fuse=fuse,
-            **resilience,
-        )
+        if workers_mode == "process":
+            server = ProcServer(
+                self,
+                example,
+                buckets,
+                workers=workers,
+                start_method=start_method,
+                model_factory=self.spawn_factory(),
+                max_batch_size=max_batch_size,
+                max_wait=max_wait,
+                fuse=fuse,
+                **resilience,
+            )
+        else:
+            server = Server(
+                self,
+                example,
+                buckets,
+                workers=workers,
+                max_batch_size=max_batch_size,
+                max_wait=max_wait,
+                fuse=fuse,
+                **resilience,
+            )
         if not start:
             if http_port is not None:
                 raise ValueError("http_port requires start=True")

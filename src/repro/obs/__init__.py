@@ -25,7 +25,10 @@ same series.
 Metric catalogue (every series the serving stack exports)
 ---------------------------------------------------------
 All serving metrics carry a ``server`` label (``srv0``, ``srv1``, ... in
-creation order) so multiple servers can share one registry.
+creation order) so multiple servers can share one registry, and a ``mode``
+label (``thread`` for :class:`~repro.serve.frontend.Server`, ``process``
+for :class:`~repro.serve.procpool.ProcServer`) so the two worker
+substrates stay distinguishable on shared dashboards.
 
 Counters:
 
@@ -46,14 +49,21 @@ Counters:
 - ``repro_serve_bucket_calls_total{bucket="N"}`` — compiled runs routed to
   each session bucket;
 - ``repro_serve_eager_tail_total`` — eager last-resort serves (remainder
-  smaller than every bucket).
+  smaller than every bucket);
+- ``repro_serve_proc_respawns_total`` — worker *process* respawns after a
+  crash or SIGKILL (process mode only; thread respawns stay under
+  ``repro_serve_worker_restarts_total``);
+- ``repro_serve_proc_pipe_fallback_total`` — oversized requests served over
+  the pickled pipe cold path instead of the shared-memory ring.
 
 Gauges (computed at scrape time):
 
 - ``repro_serve_queue_depth`` — requests waiting in the queue;
 - ``repro_serve_workers_alive`` — live worker threads;
 - ``repro_serve_batch_occupancy`` — mean dispatched samples per batch over
-  ``max_batch_size`` (1.0 = every dispatch full).
+  ``max_batch_size`` (1.0 = every dispatch full);
+- ``repro_serve_arena_version`` — version of the live shared-memory
+  parameter bank (process mode; bumps on ``publish_weights()``).
 
 Histograms (milliseconds, buckets
 :data:`~repro.obs.metrics.DEFAULT_LATENCY_BUCKETS_MS`):

@@ -26,6 +26,18 @@ The serving stack toward the production north star, bottom-up:
   (:class:`FaultInjector` / :func:`inject_faults`) — raise-on-nth-call,
   added latency, worker-kill, poisoned payloads — so every resilience
   behavior is testable under injected failure;
+- :class:`ProcServer` (:mod:`repro.serve.procpool`) swaps the worker
+  substrate for OS **processes** over :mod:`repro.serve.arena` shared
+  memory: parameters published once into a versioned double-banked
+  :class:`ParamArena` (zero-copy views in every worker,
+  :meth:`ProcServer.publish_weights` hot-swaps them), requests/results
+  through fixed-slot :class:`RequestRing` buffers (nothing pickled on the
+  hot path), with the full resilience contract — kill → respawn,
+  crash-loop retirement, stuck replacement, bounded segment-clean
+  ``stop()`` — ported to real processes;
+- :class:`AsyncServer` (:mod:`repro.serve.aio`) is the asyncio front
+  door: ``await aserver.submit(x)`` bridges the future to the event loop
+  so one process holds tens of thousands of in-flight requests;
 - the front end emits through :mod:`repro.obs`: every server owns a metric
   registry (Prometheus exposition) and a per-request stage-span tracer,
   ``Server.serve_http()`` exposes ``/metrics`` / ``/health`` / ``/ready``
@@ -40,8 +52,11 @@ are bound by reference, batch-norm statistics are frozen at compile) and
 semantics.
 """
 
+from repro.serve.aio import AsyncServer
+from repro.serve.arena import ParamArena, RequestRing
 from repro.serve.faults import FaultInjector, PoisonedRequest, inject_faults
 from repro.serve.frontend import DEFAULT_BUCKETS, Server, SessionPool
+from repro.serve.procpool import ProcServer
 from repro.serve.resilience import (
     BACKPRESSURE_MODES,
     DeadlineExceeded,
@@ -54,12 +69,16 @@ from repro.serve.resilience import (
 from repro.serve.session import InferenceSession, compile_inference, serve_batches
 
 __all__ = [
+    "AsyncServer",
     "BACKPRESSURE_MODES",
     "DEFAULT_BUCKETS",
     "DeadlineExceeded",
     "FaultInjector",
     "InferenceSession",
+    "ParamArena",
     "PoisonedRequest",
+    "ProcServer",
+    "RequestRing",
     "RetryPolicy",
     "Server",
     "ServerOverloaded",

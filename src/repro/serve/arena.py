@@ -1,0 +1,369 @@
+"""Shared-memory substrate for process-sharded serving.
+
+Two primitives, both over ``multiprocessing.shared_memory``:
+
+- :class:`ParamArena` — a versioned, double-banked parameter store.  The
+  parent publishes a model's ``state_dict()`` once; every worker process
+  attaches and gets **zero-copy numpy views** over the same physical
+  pages.  Hot weight updates write the *inactive* bank, then flip the
+  active-bank index and bump the version (in that order), so a reader
+  either sees the complete old set or the complete new set — never a
+  half-written tensor.  Workers poll the version at batch boundaries and
+  rebind their parameter views when it moves.
+- :class:`RequestRing` — fixed-slot request/result buffers for one
+  worker.  Each slot holds room for one coalesced batch (every model
+  input at ring capacity, plus the output); the parent writes request
+  rows into a slot and sends only ``(slot, n, deadline)`` over the
+  control :class:`~multiprocessing.connection.Connection`, so **no
+  request array is ever pickled on the hot path**.  Results come back in
+  the same slot's output region.
+
+Segment hygiene is part of the contract: the *parent* creates and unlinks
+every segment exactly once (:meth:`ParamArena.destroy` /
+:meth:`RequestRing.destroy` are idempotent), while workers attach with
+:func:`attach_shm`, which immediately deregisters the segment from their
+``resource_tracker`` — otherwise a worker dying (or being SIGKILLed)
+would either leak a tracker process or, worse, let the tracker unlink a
+segment the parent still serves from.  ``tests/test_procpool.py`` asserts
+``/dev/shm`` is clean after stop, crash, and SIGKILL.
+"""
+
+from __future__ import annotations
+
+import math
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ParamArena", "RequestRing", "attach_shm"]
+
+#: Bank payloads start on a page boundary; per-tensor offsets are 64-byte
+#: aligned so views never straddle a cache line for no reason.
+_PAGE = 4096
+_ALIGN = 64
+
+#: Header int64 slots: [version, active_bank, bank_count, bank_bytes].
+_HEADER_WORDS = 4
+
+
+def _align(n: int, to: int = _ALIGN) -> int:
+    return int(math.ceil(n / to) * to)
+
+
+def attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    ``SharedMemory(name)`` registers the mapping with the attaching
+    process's resource tracker, which (a) may spawn a tracker subprocess
+    per worker and (b) *unlinks the segment* when the worker exits before
+    the parent does.  Worse, a forked worker shares the parent's tracker,
+    so unregister-after-attach would clobber the parent's own
+    registration.  Python 3.13 grew ``track=False`` for exactly this;
+    older interpreters get it by suppressing ``register`` for the
+    duration of the attach — nothing to unregister, nothing clobbered.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class _Segment:
+    """Shared create/attach/teardown plumbing for one shm segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self._owner = owner
+
+    @property
+    def name(self) -> str:
+        assert self._shm is not None
+        return self._shm.name
+
+    @property
+    def buf(self):
+        assert self._shm is not None, "segment already closed"
+        return self._shm.buf
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent; keeps the segment)."""
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                # A live numpy view still pins the mapping; leave it to
+                # process exit rather than crash the teardown path.
+                self._shm = shm
+
+    def destroy(self) -> None:
+        """Close and, if this process created the segment, unlink it."""
+        shm = self._shm
+        self.close()
+        if self._owner and shm is not None:
+            self._owner = False
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class ParamArena(_Segment):
+    """Versioned double-banked shared-memory store for a ``state_dict``.
+
+    Layout (one segment)::
+
+        [int64 header: version, active_bank, banks, bank_bytes]
+        [page pad]
+        [bank 0: tensor payloads, 64-byte aligned offsets]
+        [bank 1: ...]
+
+    Writers are exclusive (the parent server); readers (workers) are
+    lock-free.  :meth:`publish` writes the inactive bank completely, then
+    stores the bank index and finally the new version, so a reader that
+    re-checks the version after reading the bank index (``read_header``)
+    can never act on a torn pair.
+    """
+
+    def __init__(self, shm, owner: bool, entries, banks: int,
+                 bank_bytes: int) -> None:
+        super().__init__(shm, owner)
+        #: ``name -> (shape, dtype, offset_in_bank)``
+        self._entries: Dict[str, Tuple[Tuple[int, ...], np.dtype, int]] = entries
+        self._banks = banks
+        self._bank_bytes = bank_bytes
+        self._cached_version = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, state: Dict[str, np.ndarray], banks: int = 2) -> "ParamArena":
+        """Allocate a fresh arena and publish ``state`` as version 1."""
+        if banks < 2:
+            raise ValueError(f"ParamArena needs >= 2 banks, got {banks}")
+        entries: Dict[str, Tuple[Tuple[int, ...], np.dtype, int]] = {}
+        offset = 0
+        for name, array in state.items():
+            arr = np.asarray(array)
+            entries[name] = (arr.shape, arr.dtype, offset)
+            offset += _align(max(arr.nbytes, 1))
+        bank_bytes = _align(max(offset, 1), _PAGE)
+        total = _PAGE + banks * bank_bytes
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        arena = cls(shm, True, entries, banks, bank_bytes)
+        header = arena._header()
+        header[0] = 0  # version 0 = nothing published yet
+        header[1] = 0
+        header[2] = banks
+        header[3] = bank_bytes
+        arena.publish(state)  # first publish lands in bank 0 as version 1
+        return arena
+
+    def spec(self) -> dict:
+        """A picklable description a worker passes to :meth:`attach`."""
+        return {
+            "name": self.name,
+            "entries": [
+                (key, tuple(shape), dtype.str, offset)
+                for key, (shape, dtype, offset) in self._entries.items()
+            ],
+            "banks": self._banks,
+            "bank_bytes": self._bank_bytes,
+        }
+
+    @classmethod
+    def attach(cls, spec: dict) -> "ParamArena":
+        """Attach from a worker process (resource-tracker-friendly)."""
+        shm = attach_shm(spec["name"])
+        entries = {
+            key: (tuple(shape), np.dtype(dtype), offset)
+            for key, shape, dtype, offset in spec["entries"]
+        }
+        return cls(shm, False, entries, spec["banks"], spec["bank_bytes"])
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def _header(self) -> np.ndarray:
+        return np.ndarray((_HEADER_WORDS,), dtype=np.int64, buffer=self.buf)
+
+    @property
+    def version(self) -> int:
+        # Post-teardown introspection (stats() after stop()) still gets
+        # the last version this process saw.
+        if self._shm is None:
+            return self._cached_version
+        self._cached_version = int(self._header()[0])
+        return self._cached_version
+
+    @property
+    def active_bank(self) -> int:
+        return int(self._header()[1])
+
+    def read_header(self) -> Tuple[int, int]:
+        """A torn-read-safe ``(version, active_bank)`` snapshot."""
+        header = self._header()
+        while True:
+            version = int(header[0])
+            bank = int(header[1])
+            if int(header[0]) == version:
+                return version, bank
+
+    def views(self, bank: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Zero-copy views over one bank (default: the active bank).
+
+        The returned arrays alias shared pages — treat them as read-only
+        in workers; writing through them would corrupt every process.
+        """
+        if bank is None:
+            bank = self.active_bank
+        if not 0 <= bank < self._banks:
+            raise ValueError(f"bank must be in [0, {self._banks}), got {bank}")
+        base = _PAGE + bank * self._bank_bytes
+        return {
+            key: np.ndarray(shape, dtype=dtype, buffer=self.buf,
+                            offset=base + offset)
+            for key, (shape, dtype, offset) in self._entries.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Publication (parent only)
+    # ------------------------------------------------------------------ #
+    def publish(self, state: Dict[str, np.ndarray]) -> int:
+        """Write ``state`` into the inactive bank and make it live.
+
+        Returns the new version.  Keys and per-tensor shapes/dtypes are
+        fixed at :meth:`create`; a mismatch raises before any byte is
+        written, so a failed publish never tears the live bank.
+        """
+        if not self._owner:
+            raise RuntimeError("only the creating process may publish")
+        missing = set(self._entries) - set(state)
+        if missing:
+            raise ValueError(f"publish missing arena keys: {sorted(missing)}")
+        header = self._header()
+        version = int(header[0])
+        target = (int(header[1]) + 1) % self._banks if version else 0
+        staged: List[Tuple[np.ndarray, np.ndarray]] = []
+        views = self.views(target)
+        for key, (shape, dtype, _offset) in self._entries.items():
+            arr = np.asarray(state[key])
+            if tuple(arr.shape) != shape or arr.dtype != dtype:
+                raise ValueError(
+                    f"arena entry {key!r} is {shape}/{dtype}, publish got "
+                    f"{arr.shape}/{arr.dtype} (arena shapes are fixed at "
+                    "create())"
+                )
+            staged.append((views[key], arr))
+        for view, arr in staged:
+            view[...] = arr
+        header[1] = target
+        header[0] = version + 1
+        return version + 1
+
+
+class RequestRing(_Segment):
+    """Fixed-slot shared-memory request/result buffers for one worker.
+
+    ``slots`` independent slots let one batch be in flight while the next
+    is being staged.  Each slot packs, 64-byte aligned::
+
+        [input 0: (capacity, *per_sample_shape) of its dtype]
+        [input 1: ...]
+        [output:  (capacity, *out_per_sample) of the output dtype]
+
+    The ring carries **data only**; who owns which slot is decided by the
+    control-pipe protocol in :mod:`repro.serve.procpool` (one in-flight
+    batch per worker, so no atomics are needed here).
+    """
+
+    def __init__(self, shm, owner: bool, input_specs, out_spec,
+                 capacity: int, slots: int, slot_bytes: int,
+                 offsets) -> None:
+        super().__init__(shm, owner)
+        self._input_specs = input_specs    # [(per_sample_shape, dtype)]
+        self._out_spec = out_spec          # (out_per_sample, dtype)
+        self.capacity = capacity
+        self.slots = slots
+        self._slot_bytes = slot_bytes
+        self._offsets = offsets            # per-input offsets + output offset
+
+    @classmethod
+    def create(
+        cls,
+        input_specs: Sequence[Tuple[Tuple[int, ...], np.dtype]],
+        out_spec: Tuple[Tuple[int, ...], np.dtype],
+        capacity: int,
+        slots: int = 2,
+    ) -> "RequestRing":
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        if slots < 1:
+            raise ValueError(f"ring needs >= 1 slot, got {slots}")
+        offsets: List[int] = []
+        offset = 0
+        for shape, dtype in input_specs:
+            offsets.append(offset)
+            nbytes = capacity * int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            offset += _align(max(nbytes, 1))
+        out_shape, out_dtype = out_spec
+        offsets.append(offset)
+        out_bytes = capacity * int(np.prod(out_shape, dtype=np.int64)) * np.dtype(out_dtype).itemsize
+        offset += _align(max(out_bytes, 1))
+        slot_bytes = _align(offset, _PAGE)
+        shm = shared_memory.SharedMemory(create=True, size=slots * slot_bytes)
+        specs = [(tuple(s), np.dtype(d)) for s, d in input_specs]
+        return cls(shm, True, specs, (tuple(out_shape), np.dtype(out_dtype)),
+                   capacity, slots, slot_bytes, offsets)
+
+    def spec(self) -> dict:
+        return {
+            "name": self.name,
+            "inputs": [(shape, dtype.str) for shape, dtype in self._input_specs],
+            "out": (self._out_spec[0], self._out_spec[1].str),
+            "capacity": self.capacity,
+            "slots": self.slots,
+            "slot_bytes": self._slot_bytes,
+            "offsets": list(self._offsets),
+        }
+
+    @classmethod
+    def attach(cls, spec: dict) -> "RequestRing":
+        shm = attach_shm(spec["name"])
+        specs = [(tuple(s), np.dtype(d)) for s, d in spec["inputs"]]
+        out = (tuple(spec["out"][0]), np.dtype(spec["out"][1]))
+        return cls(shm, False, specs, out, spec["capacity"], spec["slots"],
+                   spec["slot_bytes"], spec["offsets"])
+
+    def _check(self, slot: int, n: int) -> None:
+        if not 0 <= slot < self.slots:
+            raise ValueError(f"slot must be in [0, {self.slots}), got {slot}")
+        if not 0 <= n <= self.capacity:
+            raise ValueError(
+                f"n must be in [0, {self.capacity}] for this ring, got {n}"
+            )
+
+    def input_views(self, slot: int, n: int) -> List[np.ndarray]:
+        """Zero-copy ``(n, ...)`` views over one slot's input regions."""
+        self._check(slot, n)
+        base = slot * self._slot_bytes
+        return [
+            np.ndarray((n,) + shape, dtype=dtype, buffer=self.buf,
+                       offset=base + self._offsets[i])
+            for i, (shape, dtype) in enumerate(self._input_specs)
+        ]
+
+    def output_view(self, slot: int, n: int) -> np.ndarray:
+        """Zero-copy ``(n, ...)`` view over one slot's output region."""
+        self._check(slot, n)
+        base = slot * self._slot_bytes
+        shape, dtype = self._out_spec
+        return np.ndarray((n,) + shape, dtype=dtype, buffer=self.buf,
+                          offset=base + self._offsets[-1])

@@ -142,9 +142,10 @@ class _ServerMetrics:
         "service_ms", "bucket_calls", "eager_tail",
     )
 
-    def __init__(self, registry, server_label: str, buckets: Tuple[int, ...]) -> None:
-        label = ("server",)
-        kv = {"server": server_label}
+    def __init__(self, registry, server_label: str, buckets: Tuple[int, ...],
+                 mode: str = "thread") -> None:
+        label = ("mode", "server")
+        kv = {"mode": mode, "server": server_label}
 
         def counter(name, help_text):
             return registry.counter(name, help_text, labelnames=label).labels(**kv)
@@ -209,9 +210,10 @@ class _ServerMetrics:
         bucket_family = registry.counter(
             "repro_serve_bucket_calls_total",
             "Compiled runs routed to each session bucket.",
-            labelnames=("server", "bucket"))
+            labelnames=("mode", "server", "bucket"))
         self.bucket_calls = {
-            b: bucket_family.labels(server=server_label, bucket=str(b))
+            b: bucket_family.labels(mode=mode, server=server_label,
+                                    bucket=str(b))
             for b in buckets
         }
         self.eager_tail = counter(
@@ -532,6 +534,11 @@ class Server:
         Span ring size (~5 spans per request).
     """
 
+    #: Worker execution mode, stamped on every metric series as the
+    #: ``mode`` label and reported by :meth:`stats`/:meth:`health`.
+    #: :class:`~repro.serve.procpool.ProcServer` overrides it.
+    mode = "thread"
+
     def __init__(
         self,
         model: Module,
@@ -571,11 +578,12 @@ class Server:
         self._registry = registry if registry is not None else Registry()
         self._tracer: Optional[Tracer] = Tracer(trace_capacity) if trace else None
         self._m = _ServerMetrics(
-            self._registry, self._server_id, _normalize_buckets(buckets)
+            self._registry, self._server_id, _normalize_buckets(buckets),
+            self.mode,
         )
         pool_metrics = (self._m.bucket_calls, self._m.eager_tail)
-        self._pool_factory = lambda: SessionPool(
-            model, example_batch, buckets, fuse=fuse, metrics=pool_metrics
+        self._pool_factory = self._make_pool_factory(
+            model, example_batch, buckets, fuse, pool_metrics
         )
         self._slots = [
             WorkerSlot(i, self._pool_factory()) for i in range(workers)
@@ -603,6 +611,7 @@ class Server:
         self._stop_event = threading.Event()
         self._started = False
         self._stopping = False
+        self._drained = False  # stop() finished failing the leftovers
         self._failed: Optional[str] = None  # terminal failure reason
         self._http = None  # ObsHTTPServer once serve_http() is called
         # Counters live in the registry (self._m children are the source of
@@ -622,6 +631,26 @@ class Server:
             lambda: float(sum(1 for s in list(self._slots) if s.is_alive()))
         )
         self._m.batch_occupancy.set_function(self._occupancy)
+
+    def _make_pool_factory(self, model, example_batch, buckets, fuse,
+                           pool_metrics):
+        """Build the per-slot pool factory.  Subclasses substituting a
+        different worker substrate (process-backed proxies) override this
+        single seam; everything else — coalescing, retries, supervision,
+        metrics — reuses whatever the factory returns, as long as it keeps
+        the :class:`SessionPool` serving surface."""
+        return lambda: SessionPool(
+            model, example_batch, buckets, fuse=fuse, metrics=pool_metrics
+        )
+
+    def _on_worker_kill(self, slot: WorkerSlot) -> None:
+        """Hook invoked when a worker loop dies on :class:`WorkerKill`.
+
+        Thread workers have nothing to clean up — the thread *is* the
+        worker.  Process-backed servers override this to kill the slot's
+        real OS process, so injected kills exercise the whole
+        death-detection + respawn path, not just the thread half.
+        """
 
     def _occupancy(self) -> float:
         dispatches = self._m.batches_dispatched.value
@@ -759,6 +788,11 @@ class Server:
             )
             for request in leftovers:
                 self._resolve_exceptionally(request, exc)
+        # From here on nobody drains the queue: a worker unwedging *after*
+        # stop() (its process was just killed, say) must fail its requests
+        # instead of re-queueing them into the void.
+        with self._cond:
+            self._drained = True
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -785,6 +819,7 @@ class Server:
                     self._started and not self._stopping and not self._failed
                     and alive > 0
                 ),
+                "mode": self.mode,
                 "started": self._started,
                 "stopping": self._stopping,
                 "failed": self._failed,
@@ -935,6 +970,7 @@ class Server:
         completed_samples = m.samples_completed.value
         throughput = completed_samples / elapsed if elapsed > 0 else 0.0
         snapshot = {
+            "mode": self.mode,  # type: ignore[dict-item]
             "queue_depth": float(depth),
             "requests_submitted": m.requests_submitted.value,
             "requests_completed": m.requests_completed.value,
@@ -1068,13 +1104,26 @@ class Server:
             return requests
 
     def _requeue(self, requests: List[_Request]) -> None:
-        """Put a killed worker's unresolved requests back at the queue head."""
+        """Put a killed worker's unresolved requests back at the queue head.
+
+        After :meth:`stop` has already failed the leftovers the queue is
+        dead — re-queueing would strand the futures forever, so they are
+        resolved exceptionally instead.
+        """
         pending = [r for r in requests if not r.future.done()]
         if not pending:
             return
         with self._cond:
-            self._queue.extendleft(reversed(pending))
-            self._cond.notify_all()
+            drained = self._drained
+            if not drained:
+                self._queue.extendleft(reversed(pending))
+                self._cond.notify_all()
+        if drained:
+            exc = RuntimeError(
+                "worker died holding this request after the server stopped"
+            )
+            for request in pending:
+                self._resolve_exceptionally(request, exc)
 
     def _worker(self, slot: WorkerSlot) -> None:
         while True:
@@ -1120,7 +1169,9 @@ class Server:
             except WorkerKill:
                 # Simulated hard crash: give the requests back to the queue
                 # and die; the watchdog counts the crash and respawns this
-                # slot after its restart backoff.
+                # slot after its restart backoff.  The hook lets process
+                # servers take down the slot's real OS process first.
+                self._on_worker_kill(slot)
                 self._requeue(requests)
                 return
             except Exception as exc:
@@ -1155,12 +1206,27 @@ class Server:
                 np.concatenate([r.arrays[i] for r in requests])
                 for i in range(len(requests[0].arrays))
             ]
+        # Process-backed proxies accept a per-batch deadline hint so the
+        # worker process can refuse work that already expired on the wire;
+        # plain SessionPools don't have the method (getattr keeps the
+        # thread-mode hot path untouched).  FaultInjector only shadows
+        # ``.serve``, so the hint survives injection.
+        set_hint = getattr(pool, "set_deadline_hint", None)
+        if set_hint is not None:
+            deadlines = [r.deadline for r in requests]
+            # The *latest* deadline: the worker may refuse the batch only
+            # when every co-batched request has expired.
+            hint = (max(deadlines)
+                    if deadlines and all(d is not None for d in deadlines)
+                    else None)
         attempt = 0
         while True:
             if not (first and attempt == 0):
                 self._m.batches_retried.inc()
             serve_start = time.monotonic()
             try:
+                if set_hint is not None:
+                    set_hint(hint)
                 out = pool.serve(arrays)
                 break
             except WorkerKill:
@@ -1275,7 +1341,16 @@ class Server:
                     and now - slot.busy_since > policy.stuck_timeout
                 ):
                     self._handle_stuck(slot)
+            self._sweep_extra(now)
             self._check_all_dead()
+
+    def _sweep_extra(self, now: float) -> None:
+        """Per-sweep watchdog extension point (no-op for thread workers).
+
+        Process servers use it to notice worker processes that died while
+        their parent-side thread sat idle (no traffic to surface the
+        death) and respawn them with backoff.
+        """
 
     def _handle_dead(self, slot: WorkerSlot, now: float) -> None:
         """Count a crash, schedule/execute the backed-off respawn."""

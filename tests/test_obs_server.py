@@ -33,7 +33,7 @@ def _server(rng, **kwargs):
 def _value(server, name, **extra_labels):
     family = server.registry.get(name)
     assert family is not None, f"{name} not registered"
-    labels = {"server": server._server_id, **extra_labels}
+    labels = {"mode": server.mode, "server": server._server_id, **extra_labels}
     return family.labels(**labels).value
 
 
@@ -73,7 +73,7 @@ def test_stats_and_registry_agree_after_traffic():
             stats["batch_occupancy"])
         # The latency histogram observed exactly the completed requests.
         fam = server.registry.get("repro_serve_request_latency_ms")
-        assert fam.labels(server=server._server_id).count == 5
+        assert fam.labels(mode="thread", server=server._server_id).count == 5
 
 
 def test_stage_breakdown_queue_wait_plus_service():
@@ -100,7 +100,8 @@ def test_stage_breakdown_queue_wait_plus_service():
             ("repro_serve_queue_wait_ms", 8),
             ("repro_serve_service_ms", 8),
         ):
-            child = server.registry.get(name).labels(server=server._server_id)
+            child = server.registry.get(name).labels(
+                mode="thread", server=server._server_id)
             assert child.count == count
 
 
@@ -125,10 +126,12 @@ def test_two_servers_share_a_registry_via_the_server_label():
         assert a._server_id != b._server_id
         text = registry.render()
         assert (
-            'repro_serve_samples_completed_total{server="%s"} 1' % a._server_id
+            'repro_serve_samples_completed_total{mode="thread",server="%s"} 1'
+            % a._server_id
         ) in text
         assert (
-            'repro_serve_samples_completed_total{server="%s"} 2' % b._server_id
+            'repro_serve_samples_completed_total{mode="thread",server="%s"} 2'
+            % b._server_id
         ) in text
 
 
@@ -258,9 +261,15 @@ def test_serve_http_exposes_metrics_probes_and_traces():
         status, body = _get(edge.url + "/metrics")
         assert status == 200
         sid = server._server_id
-        assert f'repro_serve_requests_completed_total{{server="{sid}"}} 1' in body
-        assert f'repro_serve_queue_depth{{server="{sid}"}} 0' in body
-        assert f'repro_serve_request_latency_ms_bucket{{server="{sid}",le="+Inf"}} 1' in body
+        assert (
+            f'repro_serve_requests_completed_total'
+            f'{{mode="thread",server="{sid}"}} 1' in body
+        )
+        assert f'repro_serve_queue_depth{{mode="thread",server="{sid}"}} 0' in body
+        assert (
+            f'repro_serve_request_latency_ms_bucket'
+            f'{{mode="thread",server="{sid}",le="+Inf"}} 1' in body
+        )
         for series in (
             "repro_serve_requests_rejected_total",
             "repro_serve_requests_expired_total",
