@@ -43,6 +43,13 @@ Workloads
     temporaries vs. the single compiled region kernel writing one
     pre-allocated buffer (``repro.codegen``); this is the raw win codegen
     delivers wherever fusion placed a region.
+``fusion_reduce``
+    The reduction-tail analogue of the codegen pair: the softmax-CE scoring
+    tail (``mean(sum(-(logp * t), classes), batch)``) as eager ufuncs with
+    a temporary per op vs. one structured region kernel — a fused
+    elementwise stage feeding C reduction stages that replay numpy's
+    pairwise summation bit-for-bit.  Keys land under
+    ``fusion_reduce/codegen/`` in the ``fusion`` section.
 ``serve_queue``
     The dynamic-batching front end: a burst of single-sample TBNet requests
     served three ways — per-request eager ``no_grad``, per-request batch-1
@@ -382,6 +389,54 @@ def build_fusion_tail_step(
         for _ in range(depth):
             h = np.maximum(np.add(np.multiply(h, scale), shift), 0.0)
         return float(h[0, 0])
+
+    return step
+
+
+def build_fusion_reduce_step(
+    mode: str, batch: int, rng: np.random.Generator, classes: int = 512
+) -> Callable[[], float]:
+    """Forward-only softmax-CE scoring tail: ``mean(sum(-(logp * t), -1))``.
+
+    ``eager_fwd`` is the ufunc-by-ufunc sequence (one temporary per op, a
+    numpy reduction per axis group); ``codegen`` runs the same program as
+    one structured region — the elementwise stage and both reduction
+    stages compiled, the C reductions replaying numpy's pairwise summation
+    bit-for-bit — through the active backend's ``compile_region`` hook.
+    """
+    from repro.backend import get_backend
+    from repro.codegen import RegionIR, RegionInput
+
+    logp = -np.abs(rng.standard_normal((batch, classes))).astype(np.float32)
+    t = rng.random((batch, classes)).astype(np.float32)
+
+    if mode == "codegen":
+        region = RegionIR(
+            [
+                RegionInput(np.float32, logp.shape),
+                RegionInput(np.float32, t.shape),
+            ],
+            [
+                ("mul", (0, 1)),
+                ("neg", (2,)),
+                ("sum", (3,), (1, False)),
+                ("mean", (4,), (1, False)),
+            ],
+            (),
+            np.float32,
+        )
+        kern = get_backend().compile_region(region)
+        buf = np.empty((), np.float32)
+        arrays = [logp, t]
+
+        def step() -> float:
+            return float(kern(arrays, out=buf))
+
+        return step
+
+    def step() -> float:
+        loss = np.negative(np.multiply(logp, t)).sum(axis=-1).mean(axis=-1)
+        return float(loss)
 
     return step
 
@@ -974,7 +1029,9 @@ def main(argv=None) -> int:
     # (1, overhead-dominated like the paper's short-block workloads) and the
     # conv batch.  The eager/compiled pair backs the inference ratios, so it
     # is measured with the pair interleaved like the fusion rows.
-    infer_batches = [1, tbnet_batch] if not quick else [tbnet_batch]
+    # Batch 1 runs even under --quick: the shape-specialized bucket kernels
+    # are gated on the batch-1 ratio in CI, and the row is cheap to measure.
+    infer_batches = [1, tbnet_batch] if tbnet_batch != 1 else [tbnet_batch]
     for batch in infer_batches:
         record_engine_pair(
             "tbnet_infer", ("eager", "compiled"), batch,
@@ -1002,6 +1059,14 @@ def main(argv=None) -> int:
     record_engine_pair(
         "fusion_chain", ("eager_fwd", "codegen"), fusion_batch,
         lambda m: build_fusion_tail_step(m, fusion_batch, np.random.default_rng(7100)),
+        fusion_inner,
+    )
+    # Reduction-tail codegen: the softmax-CE scoring tail as eager ufuncs
+    # plus numpy reductions vs one structured (map + reduce stages) region
+    # kernel through compile_region.
+    record_engine_pair(
+        "fusion_reduce", ("eager_fwd", "codegen"), fusion_batch,
+        lambda m: build_fusion_reduce_step(m, fusion_batch, np.random.default_rng(7200)),
         fusion_inner,
     )
 
@@ -1225,6 +1290,8 @@ def main(argv=None) -> int:
     fusion_ratios = _paired_ratio("fusion_chain", "unfused", "fused")
     for key, value in _paired_ratio("fusion_chain", "eager_fwd", "codegen").items():
         fusion_ratios[key.replace("fusion_chain/", "fusion_chain/codegen/", 1)] = value
+    for key, value in _paired_ratio("fusion_reduce", "eager_fwd", "codegen").items():
+        fusion_ratios[key.replace("fusion_reduce/", "fusion_reduce/codegen/", 1)] = value
 
     # Serving section: queued dynamic batching vs both per-request paths
     # (> 1.0 on every row means the queue front end pays its overhead).
@@ -1278,7 +1345,7 @@ def main(argv=None) -> int:
     from repro.codegen import codegen_stats, have_compiler
 
     report = {
-        "schema": "bench_autograd/v8",
+        "schema": "bench_autograd/v9",
         "meta": {
             "python": platform.python_version(),
             "numpy": np.__version__,

@@ -14,6 +14,31 @@ training the fused backward runs the exact per-op VJP sequences of the
 original thunks in reverse order, passing interior gradients straight
 through without the per-link ownership copy the unfused engine pays.
 
+Three extensions widen what a region may contain:
+
+- **Reduction tails** — a no-grad ``sum`` node whose axes form a trailing
+  contiguous run joins the region (captured traces only; a training
+  ``sum`` keeps its exact eager thunk), so a softmax-CE style epilogue
+  compiles into the same kernel pipeline instead of forcing a region
+  boundary.  Gated on the backend advertising ``"reduce"`` in its
+  ``region_features``.
+- **Linear heads** — a no-grad ``linear`` node may be absorbed as the
+  *first* member of a region: the GEMM still runs through the host BLAS,
+  but its bias add (and any following activation) folds into the region's
+  first compiled loop.  Gated on ``"linear"`` in ``region_features``;
+  ``linear → relu`` pairs are still claimed by the ``linear_relu``
+  composite first.
+- **Duplicated producers** — the single-consumer rule is lifted for one
+  narrow shape: a lone elementwise node whose inputs are all graph
+  leaves and whose output feeds *exactly two* region-eligible consumers
+  is recomputed into each consuming region.  The producer node itself
+  stays in the graph: the regions' backwards accumulate the two incoming
+  gradients into its output tensor (two contributions commute bitwise),
+  and its own thunk then runs its VJP — so every leaf gradient stays
+  bit-identical while the forward chains fuse through the fan-out.  In a
+  captured trace the bypassed producer becomes dead and the serving
+  emitter drops it.
+
 **Pattern pairs** (the composite-kernel mechanism).  ``linear → relu`` and
 ``batch_norm → relu`` still fuse into ``linear_relu`` /
 ``batch_norm_relu`` nodes dispatching to the backend composites: a GEMM or
@@ -137,20 +162,31 @@ def _node_backend(node: ir.GraphNode):
 #: mid-replay.
 _COMPOSITE_METHODS = ("relu_grad", "linear_relu", "mul_add", "add_relu", "bn_normalize_relu")
 
-def _backend_caps(be) -> Tuple[bool, bool]:
-    """(supports composites, supports regions), memoized on the backend.
+def _backend_caps(be) -> tuple:
+    """(supports composites, supports regions, region features), memoized
+    on the backend.
 
     The probe result is stored on the instance itself so its lifetime is
     tied to the backend object (an external ``id()``-keyed cache would go
     stale when a test-scoped backend is collected and its id reused).
     Capabilities are treated as static per backend, like everywhere else
-    in this module.
+    in this module.  ``region features`` is the backend's advertised
+    ``region_features`` set (``{"elementwise"}`` when it has
+    ``compile_region`` but predates the attribute, empty when it has no
+    ``compile_region`` at all) — the gate for absorbing structured nodes.
     """
     caps = getattr(be, "_repro_fusion_caps", None)
-    if caps is None:
+    if caps is None or len(caps) != 3:
+        has_regions = hasattr(be, "compile_region")
+        features = (
+            frozenset(getattr(be, "region_features", ("elementwise",)))
+            if has_regions
+            else frozenset()
+        )
         caps = (
             all(hasattr(be, method) for method in _COMPOSITE_METHODS),
-            hasattr(be, "compile_region"),
+            has_regions,
+            features,
         )
         try:
             be._repro_fusion_caps = caps
@@ -313,7 +349,7 @@ def _plan_applies(plan, nodes) -> bool:
         for entry in plan[0]:
             kind = entry[0]
             if kind == "region":
-                _, member_pos, _routes, region, ext_locs = entry
+                _, member_pos, _routes, region, ext_locs, _dup_mask = entry
                 head = nodes[member_pos[-1]]
                 data = head.out.data
                 if not isinstance(data, np.ndarray) or data.dtype != region.out_dtype:
@@ -321,16 +357,26 @@ def _plan_applies(plan, nodes) -> bool:
                 be = _node_backend(head)
                 if not _backend_caps(be)[1]:
                     return False
+                structured = not region.is_elementwise
+                if structured and head.backward is not None:
+                    # A structurally identical *training* tape must not
+                    # reuse a capture plan containing sum/linear members.
+                    return False
                 # Ops need no re-check — the structural key pins them; only
-                # what the key dropped (backend identity, mask presence) is
-                # validated per member.
-                for pos in member_pos:
+                # what the key dropped (backend identity, mask presence,
+                # reduction axes) is validated per member.
+                for j, pos in enumerate(member_pos):
                     node = nodes[pos]
                     if _node_backend(node) is not be:
                         return False
                     if node.op == "relu" and node.backward is not None:
                         attrs = node.attrs
                         if not attrs or "mask" not in attrs:
+                            return False
+                    if node.op == "sum":
+                        # The structural key ignores attrs: same wiring
+                        # with different reduction axes is a plan miss.
+                        if _sum_meta(node) != region.ops[j][2]:
                             return False
                 for s, (j, i) in enumerate(ext_locs):
                     td = nodes[member_pos[j]].inputs[i].data
@@ -364,6 +410,10 @@ def _plan_applies(plan, nodes) -> bool:
 #: ``sub`` never appears as a node (a - b records add(a, neg(b))).
 _REGION_NODE_OPS = frozenset(("add", "mul", "div", "neg", "relu"))
 
+#: Structured graph ops a region may absorb in captured (no-grad) traces,
+#: gated per backend through ``region_features``.
+_REGION_STRUCTURED_NODE_OPS = frozenset(("sum", "linear"))
+
 _F32 = np.dtype(np.float32)
 _F64 = np.dtype(np.float64)
 
@@ -372,16 +422,57 @@ _F64 = np.dtype(np.float64)
 _MAX_REGION = 32
 
 
-def _region_eligible(node, cache: dict) -> bool:
+def _trailing_k(ndim: int, axis) -> Optional[int]:
+    """``k`` when ``axis`` names exactly the last ``k`` of ``ndim`` axes,
+    else ``None`` (the only reduction layout region kernels render)."""
+    if ndim == 0:
+        return None
+    if axis is None:
+        return ndim
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    norm = set()
+    for a in axes:
+        if not isinstance(a, int) or not -ndim <= a < ndim:
+            return None
+        norm.add(a + ndim if a < 0 else a)
+    k = len(norm)
+    if norm == set(range(ndim - k, ndim)):
+        return k
+    return None
+
+
+def _sum_meta(node) -> Optional[tuple]:
+    """A sum node's region meta ``(k, keepdims)``, or ``None`` when its
+    recorded axes are not a trailing run (or it recorded no attrs — the
+    training path, which must keep its exact eager reduction thunk)."""
+    attrs = node.attrs
+    if not attrs or "axis" not in attrs:
+        return None
+    k = _trailing_k(node.inputs[0].data.ndim, attrs["axis"])
+    if k is None:
+        return None
+    return (k, bool(attrs.get("keepdims", False)))
+
+
+def _region_eligible(node, cache: dict, structured_ok: bool) -> bool:
     flag = cache.get(id(node))
     if flag is None:
-        flag = _compute_region_eligible(node)
+        flag = _compute_region_eligible(node, structured_ok)
         cache[id(node)] = flag
     return flag
 
 
-def _compute_region_eligible(node) -> bool:
-    if node.op not in _REGION_NODE_OPS or node.out is None:
+def _compute_region_eligible(node, structured_ok: bool) -> bool:
+    structured = node.op in _REGION_STRUCTURED_NODE_OPS
+    if structured:
+        # Structured nodes join regions only in captured traces (their
+        # nodes carry no backward): a training sum/linear keeps its exact
+        # eager thunk, so gradient op order is never in question.
+        if not structured_ok or node.backward is not None:
+            return False
+    elif node.op not in _REGION_NODE_OPS:
+        return False
+    if node.out is None:
         return False
     data = node.out.data
     if not isinstance(data, np.ndarray) or data.dtype not in (_F32, _F64):
@@ -392,6 +483,17 @@ def _compute_region_eligible(node) -> bool:
             return False
     if not _supports_regions(node):
         return False
+    if structured:
+        features = _backend_caps(_node_backend(node))[2]
+        if node.op == "sum":
+            if "reduce" not in features or _sum_meta(node) is None:
+                return False
+        else:  # linear
+            if "linear" not in features:
+                return False
+            x, w = node.inputs[0].data, node.inputs[1].data
+            if x.ndim < 2 or w.ndim != 2 or x.shape[-1] != w.shape[0]:
+                return False
     if node.op == "relu" and node.backward is not None:
         attrs = node.attrs
         if not attrs or "mask" not in attrs:
@@ -408,11 +510,18 @@ def _build_plan(nodes, root: Tensor) -> list:
     node_ids = {id(n) for n in nodes}
     position = {id(n): i for i, n in enumerate(nodes)}
     consumers: Dict[int, int] = {}
+    consumer_nodes: Dict[int, list] = {}
     for node in nodes:
         for t in node.inputs:
             consumers[id(t)] = consumers.get(id(t), 0) + 1
+            consumer_nodes.setdefault(id(t), []).append(node)
 
     claimed: set = set()
+    # Structured nodes (sum / linear) may join regions only when the whole
+    # walked graph is a no-grad capture; a training graph's topo contains
+    # only backward-bearing nodes, so the root's thunk decides.
+    root_node = root._node
+    structured_ok = root_node is not None and root_node.backward is None
 
     def fusable_producer(tensor: Tensor) -> Optional[ir.GraphNode]:
         node = tensor._node
@@ -467,9 +576,53 @@ def _build_plan(nodes, root: Tensor) -> list:
     # ---- elementwise regions ------------------------------------------- #
     cache: dict = {}
     absorbed: set = set()
+    dup: set = set()
     edges: Dict[int, List[ir.GraphNode]] = {}
+
+    def dup_candidate(tensor: Tensor, be) -> Optional[ir.GraphNode]:
+        """A producer recomputable into each of its two consuming regions.
+
+        The narrow duplication shape: a lone *elementwise* node whose
+        inputs are all graph-external and whose output feeds exactly two
+        region-eligible consumers on the same backend.  Exactly two
+        because the regions' backwards accumulate their gradients into
+        the producer's output tensor in whichever order the regions run
+        — two float contributions commute bitwise, three would change
+        the ``+=`` grouping against the eager tape.
+        """
+        if tensor is root or consumers.get(id(tensor)) != 2:
+            return None
+        p = tensor._node
+        if (
+            p is None
+            or id(p) not in node_ids
+            or id(p) in claimed
+            or p.out is None
+            or p.op not in _REGION_NODE_OPS
+            or not _region_eligible(p, cache, structured_ok)
+            or _node_backend(p) is not be
+        ):
+            return None
+        for t in p.inputs:
+            tn = t._node
+            if tn is not None and id(tn) in node_ids:
+                return None  # inputs must be graph leaves
+        for c in consumer_nodes[id(tensor)]:
+            if (
+                id(c) in claimed
+                or c.op == "linear"
+                or not _region_eligible(c, cache, structured_ok)
+                or _node_backend(c) is not be
+            ):
+                return None
+        return p
+
     for node in nodes:
-        if id(node) in claimed or not _region_eligible(node, cache):
+        if id(node) in claimed or not _region_eligible(node, cache, structured_ok):
+            continue
+        if node.op == "linear":
+            # A linear is a head-only member: its operands must stay region
+            # inputs (the GEMM runs on the host), so it absorbs nothing.
             continue
         be = _node_backend(node)
         for t in node.inputs:
@@ -477,48 +630,70 @@ def _build_plan(nodes, root: Tensor) -> list:
             if (
                 producer is not None
                 and id(producer) not in claimed
-                and _region_eligible(producer, cache)
+                and _region_eligible(producer, cache, structured_ok)
                 and _node_backend(producer) is be
             ):
                 absorbed.add(id(producer))
                 edges.setdefault(id(node), []).append(producer)
+                continue
+            producer = dup_candidate(t, be)
+            if producer is not None:
+                links = edges.setdefault(id(node), [])
+                if producer not in links:
+                    links.append(producer)
+                dup.add(id(producer))
 
     for node in nodes:
         if (
             id(node) in claimed
             or id(node) in absorbed
-            or not _region_eligible(node, cache)
+            or id(node) in dup
+            or not _region_eligible(node, cache, structured_ok)
         ):
             continue
         members = _collect_members(node, edges, position)
         if len(members) < 2:
             continue
-        plan.append(_region_recipe(members, position))
+        plan.append(_region_recipe(members, position, dup))
     return _freeze_plan(plan)
 
 
 def _collect_members(head, edges, position) -> list:
     """All nodes absorbed (transitively) into ``head``, in topo order with
     the head last.  Capped at ``_MAX_REGION``; excluded producers simply
-    stay eager and feed the region as external inputs."""
+    stay eager and feed the region as external inputs.  A duplicated
+    producer reachable through both of its consumers joins once."""
     members = [head]
+    seen = {id(head)}
     stack = [head]
     while stack and len(members) < _MAX_REGION:
         node = stack.pop()
         for producer in edges.get(id(node), ()):
             if len(members) >= _MAX_REGION:
                 break
+            if id(producer) in seen:
+                continue
+            seen.add(id(producer))
             members.append(producer)
             stack.append(producer)
     members.sort(key=lambda n: position[id(n)])
     return members
 
 
-def _region_recipe(members, position) -> tuple:
+def _region_recipe(members, position, dup) -> tuple:
     """One plan entry: member positions, per-member grad routes, the
-    RegionIR, and where each external input tensor lives."""
+    RegionIR, where each external input tensor lives, and which members
+    are duplicated producers.
+
+    A duplicated member is wired into the region *program* like any other
+    (the region recomputes it) but its grad route is ``-1``: the backward
+    treats the link as external and accumulates into the producer's own
+    output tensor, whose node — left alive in the graph — then runs its
+    original VJP.
+    """
     member_index = {id(m): j for j, m in enumerate(members)}
     member_set = frozenset(member_index)
+    dup_mask = tuple(id(m) in dup for m in members)
     routes = []
     ext_slot: Dict[int, int] = {}
     ext_locs: List[Tuple[int, int]] = []
@@ -530,7 +705,7 @@ def _region_recipe(members, position) -> tuple:
             p = t._node
             if p is not None and id(p) in member_set:
                 k = member_index[id(p)]
-                route.append(k)
+                route.append(-1 if dup_mask[k] else k)
                 srcs.append(("m", k))
             else:
                 route.append(-1)
@@ -541,12 +716,16 @@ def _region_recipe(members, position) -> tuple:
                     ext_locs.append((j, i))
                 srcs.append(("e", s))
         routes.append(tuple(route))
-        prog.append((m.op, tuple(srcs)))
+        if m.op == "sum":
+            prog.append((m.op, tuple(srcs), _sum_meta(m)))
+        else:
+            prog.append((m.op, tuple(srcs)))
 
     n_ext = len(ext_locs)
     ops = [
-        (op, tuple(n_ext + s if tag == "m" else s for tag, s in srcs))
-        for op, srcs in prog
+        (entry[0], tuple(n_ext + s if tag == "m" else s for tag, s in entry[1]))
+        + entry[2:]
+        for entry in prog
     ]
     ext_tensors = [members[j].inputs[i] for j, i in ext_locs]
     out = members[-1].out
@@ -562,6 +741,7 @@ def _region_recipe(members, position) -> tuple:
         tuple(routes),
         region,
         tuple(ext_locs),
+        dup_mask,
     )
 
 
@@ -598,7 +778,7 @@ def _apply_region(entry, nodes) -> None:
     is recorded on ``bypassed`` so ``backward()`` frees them with the fused
     node, keeping the freed-graph sentinel semantics of the unfused chain.
     """
-    _, member_pos, routes, region, ext_locs = entry
+    _, member_pos, routes, region, ext_locs, dup_mask = entry
     members = [nodes[p] for p in member_pos]
     head = members[-1]
     out_t = head.out
@@ -608,15 +788,19 @@ def _apply_region(entry, nodes) -> None:
         "region", ext_tensors, {"region": region, "size": len(members)}, out_t, be=be
     )
     if head.backward is not None:
-        fused.backward = _region_backward(members, routes, out_t, be)
-    fused.bypassed = tuple(members)
+        fused.backward = _region_backward(members, routes, out_t, be, dup_mask)
+    # Duplicated producers stay live: their nodes keep their topo slots and
+    # run their own backward (fed by the gradients the regions accumulate
+    # into their outputs), so they are neither blanked nor bypassed.
+    fused.bypassed = tuple(m for m, d in zip(members, dup_mask) if not d)
     out_t._node = fused
     nodes[member_pos[-1]] = fused
-    for pos in member_pos[:-1]:
-        nodes[pos] = None
+    for pos, d in zip(member_pos[:-1], dup_mask[:-1]):
+        if not d:
+            nodes[pos] = None
 
 
-def _region_backward(members, routes, out_t: Tensor, be):
+def _region_backward(members, routes, out_t: Tensor, be, dup_mask):
     """The chained-VJP backward for one region.
 
     Runs the exact per-op gradient sequences of the original thunks, in
@@ -627,14 +811,22 @@ def _region_backward(members, routes, out_t: Tensor, be):
     bit-identical while saving one full-array copy per interior link.
     External tensors go through the original ``_accumulate_*`` calls, which
     copy on first contribution, so shared buffers are never mutated.
+
+    Duplicated members are skipped entirely: their grad routes are ``-1``,
+    so the consuming members' external paths have already accumulated the
+    incoming gradients into the producer's output tensor, and the
+    producer's own (still-live) node runs its VJP afterwards.
     """
     n = len(members)
 
     def _backward() -> None:
-        for m in members:
-            if m.out is None:
+        for m, d in zip(members, dup_mask):
+            if m.out is None and not d:
                 # A member shared with another graph was freed by that
                 # graph's backward: same sentinel the unfused tape hits.
+                # (A duplicated member freed by its own earlier backward —
+                # impossible in one reverse-topo pass, but cheap to allow —
+                # is not this region's concern.)
                 _raise_freed_graph()
         # ``own[j]``: grads[j] is a private buffer this thunk allocated and
         # nothing else references — interior links may then compute the
@@ -648,6 +840,8 @@ def _region_backward(members, routes, out_t: Tensor, be):
         own = [False] * n
         grads[n - 1] = out_t.grad
         for j in range(n - 1, -1, -1):
+            if dup_mask[j]:
+                continue  # recomputed producer: its own node runs the VJP
             g = grads[j]
             m = members[j]
             op = m.op

@@ -202,19 +202,35 @@ class ArrayBackend(Protocol):
     # ------------------------------------------------------------------ #
     # Region codegen fusion point
     # ------------------------------------------------------------------ #
-    def compile_region(self, region) -> "Callable":
+    #: Which region node kinds :meth:`compile_region` accepts, as a set of
+    #: feature strings: ``"elementwise"`` (the plain REGION_OPS — implied by
+    #: having the method at all), ``"reduce"`` (trailing-axes ``sum``/
+    #: ``mean`` tails), ``"linear"`` (the GEMM head with fused epilogue).
+    #: The fusion pass and LazyBackend consult this *before* absorbing a
+    #: structured node into a region; a backend that omits the attribute is
+    #: treated as elementwise-only, so adding node kinds upstream can never
+    #: hand an older backend a program it does not understand.
+    region_features: frozenset
+
+    def compile_region(self, region, specialize: bool = False) -> "Callable":
         """Compile one :class:`repro.codegen.region.RegionIR` into a
         ``kernel(arrays, out=None) -> ndarray`` callable.
 
         This is the fusion pipeline's execution hook: the region pass
         (:mod:`repro.autograd.fusion`), the lazy backend
         (:mod:`repro.backend.lazy`) and the serving compiler all hand
-        extracted elementwise regions to the active backend through it.
-        The returned kernel must be **bit-identical** to running the
-        region's op sequence through this backend's own elementwise
-        primitives — that equality is what lets fusion stay on by default.
-        Backends that cannot honor it simply omit the method and their
-        nodes are never region-fused.
+        extracted regions to the active backend through it.  The returned
+        kernel must be **bit-identical** to running the region's op
+        sequence through this backend's own primitives — that equality is
+        what lets fusion stay on by default.  Backends that cannot honor
+        it simply omit the method and their nodes are never region-fused.
+
+        ``specialize=True`` asks for kernels rendered against the region's
+        concrete shapes (constant loop bounds); callers pass it only for
+        shape-stable compiled artifacts (serving buckets).  Backends may
+        ignore the hint — it changes performance, never values — and
+        callers tolerate backends whose ``compile_region`` predates the
+        keyword (a ``TypeError`` falls back to the positional call).
         """
         ...
 

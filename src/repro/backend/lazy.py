@@ -12,11 +12,16 @@ available, the bit-equal numpy interpreter arm otherwise).
 
 Forced points need no special-casing in the calling code:
 
-- **matmul / conv / reductions / every other backend method** are inherited
-  from :class:`~repro.backend.numpy_backend.NumpyBackend` unmodified; they
-  run numpy functions or ndarray methods on their operands, and
+- **matmul / conv / every other backend method** are inherited from
+  :class:`~repro.backend.numpy_backend.NumpyBackend` unmodified; they run
+  numpy functions or ndarray methods on their operands, and
   :class:`LazyArray` forces itself whenever numpy converts it
-  (``__array__``) or an attribute/method is looked up on it.
+  (``__array__``) or an attribute/method is looked up on it.  ``sum`` and
+  ``mean`` are the exception: when the reduced axes are a trailing
+  contiguous run they *defer into the region* as reduction-tail nodes
+  (the codegen reduce stages replay numpy's pairwise summation
+  bit-for-bit), so a softmax-CE epilogue no longer forces the chain;
+  other axis layouts force and run eagerly as before.
 - **``.data`` reads** — indexing, ``float()``, comparisons, printing — all
   route through the same forcing protocol; :meth:`Tensor.numpy` swaps the
   concrete array back into the tensor.
@@ -105,13 +110,21 @@ class LazyArray:
 
     _repro_lazy = True
 
-    __slots__ = ("op", "srcs", "shape", "dtype", "nops", "_value")
+    __slots__ = ("op", "srcs", "shape", "dtype", "nops", "meta", "_value")
 
-    def __init__(self, op: str, srcs: tuple, shape: Tuple[int, ...], dtype) -> None:
+    def __init__(
+        self,
+        op: str,
+        srcs: tuple,
+        shape: Tuple[int, ...],
+        dtype,
+        meta: Optional[tuple] = None,
+    ) -> None:
         self.op = op
         self.srcs = srcs
         self.shape = tuple(shape)
         self.dtype = dtype
+        self.meta = meta  # (k, keepdims) for deferred sum/mean, else None
         self.nops = 1 + sum(
             s.nops for s in srcs if isinstance(s, LazyArray) and s._value is None
         )
@@ -279,7 +292,10 @@ def _flush(root: LazyArray) -> np.ndarray:
             else:
                 arr = src._value if isinstance(src, LazyArray) else src
                 srcs.append(leaf_slot[id(arr)])
-        ops.append((node.op, tuple(srcs)))
+        if node.meta is not None:
+            ops.append((node.op, tuple(srcs), node.meta))
+        else:
+            ops.append((node.op, tuple(srcs)))
 
     region = RegionIR(
         [RegionInput(a.dtype, a.shape) for a in leaves],
@@ -349,6 +365,57 @@ class LazyBackend(NumpyBackend):
                 x = _maybe_force_long_chain(x)
                 return LazyArray("relu", (x,), mx[0], mx[1])
         return np.maximum(_concrete(x), 0.0)
+
+    # ---- deferred reduction tails ------------------------------------- #
+    # sum/mean defer when the reduced axes form a trailing contiguous run —
+    # the only layout the codegen reduce stages render (numpy's pairwise
+    # summation over the rows of a C-contiguous view, which the C arm
+    # replays bit-for-bit).  Any other axis set forces the operand and runs
+    # the eager ndarray method, exactly as before this layer existed.
+    def _defer_reduce(self, op: str, x, axis, keepdims: bool):
+        if deferral_enabled():
+            mx = _operand(x)
+            if mx is not None:
+                shape, dtype = mx
+                k = _trailing_axes(len(shape), axis)
+                if k is not None:
+                    x = _maybe_force_long_chain(x)
+                    kept = shape[: len(shape) - k]
+                    out_shape = kept + (1,) * k if keepdims else kept
+                    return LazyArray(op, (x,), out_shape, dtype,
+                                     meta=(k, bool(keepdims)))
+        x = _concrete(x)
+        fn = x.sum if op == "sum" else x.mean
+        return fn(axis=axis, keepdims=keepdims)
+
+    def sum(self, x, axis=None, keepdims: bool = False):
+        return self._defer_reduce("sum", x, axis, keepdims)
+
+    def mean(self, x, axis=None, keepdims: bool = False):
+        return self._defer_reduce("mean", x, axis, keepdims)
+
+
+def _trailing_axes(ndim: int, axis) -> Optional[int]:
+    """``k`` when ``axis`` names exactly the last ``k`` of ``ndim`` axes.
+
+    ``None`` means the reduction cannot join a region (non-trailing axes,
+    zero-rank operand, or an out-of-range axis the eager method should
+    report with its own error).
+    """
+    if ndim == 0:
+        return None
+    if axis is None:
+        return ndim
+    axes = (axis,) if isinstance(axis, int) else tuple(axis)
+    norm = set()
+    for a in axes:
+        if not isinstance(a, int) or not -ndim <= a < ndim:
+            return None
+        norm.add(a + ndim if a < 0 else a)
+    k = len(norm)
+    if norm == set(range(ndim - k, ndim)):
+        return k
+    return None
 
 
 def _maybe_force_long_chain(value):

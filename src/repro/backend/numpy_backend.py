@@ -181,15 +181,26 @@ class NumpyBackend:
     # ------------------------------------------------------------------ #
     # Region codegen fusion point
     # ------------------------------------------------------------------ #
-    def compile_region(self, region):
+
+    #: Region node kinds this backend's ``compile_region`` accepts — the
+    #: capability hook the fusion pass and LazyBackend consult before
+    #: absorbing a node into a region.  ``"elementwise"`` covers the plain
+    #: REGION_OPS; ``"reduce"`` adds trailing-axes sum/mean tails;
+    #: ``"linear"`` adds the host-GEMM head with fused epilogue.  A backend
+    #: without this attribute is treated as elementwise-only.
+    region_features = frozenset({"elementwise", "reduce", "linear"})
+
+    def compile_region(self, region, specialize: bool = False):
         # One compiled C loop per region (bit-equal to the ufunc sequence
         # by the codegen contract); the numpy-interpreter arm — which *is*
         # this backend's op sequence — when codegen is off or no compiler
         # exists.  FusedNumpyBackend inherits this: its elementwise
-        # primitives are the same ufuncs.
+        # primitives are the same ufuncs.  ``specialize=True`` renders the
+        # kernels with the region's concrete shapes as literal loop bounds
+        # (serving sessions opt in per bucket).
         from repro.codegen import compile_region as _compile_region
 
-        return _compile_region(region)
+        return _compile_region(region, specialize=specialize)
 
     def dropout_mask(self, rng: np.random.Generator, shape, p: float, dtype) -> np.ndarray:
         # Drawn through the random_uniform primitive so a backend that

@@ -12,13 +12,20 @@ from repro.codegen.jit import (
     compile_region,
     enable_codegen,
     have_compiler,
+    ingest_worker_codegen_stats,
     kernel_cache_dir,
     using_codegen,
 )
-from repro.codegen.region import REGION_OPS, RegionInput, RegionIR
+from repro.codegen.region import (
+    REGION_OPS,
+    REGION_STRUCTURED_OPS,
+    RegionInput,
+    RegionIR,
+)
 
 __all__ = [
     "REGION_OPS",
+    "REGION_STRUCTURED_OPS",
     "RegionInput",
     "RegionIR",
     "clear_kernel_memo",
@@ -27,6 +34,7 @@ __all__ = [
     "compile_region",
     "enable_codegen",
     "have_compiler",
+    "ingest_worker_codegen_stats",
     "kernel_cache_dir",
     "using_codegen",
 ]

@@ -11,9 +11,22 @@ unavailable).  Kernels are cached at three levels:
   ``~/.cache/repro/kernels``), content-hashed over the C source *and* the
   compiler identity, so a cc upgrade or a renderer change can never serve a
   stale binary.  Entries are written atomically (temp file +
-  ``os.replace``) so concurrent processes race benignly;
+  ``os.replace``); concurrent *processes* compiling the same kernel
+  additionally serialize on an advisory ``flock`` per entry so N workers
+  produce one compile and N-1 disk hits — and when the lock itself is
+  unavailable (no :mod:`fcntl`, NFS refusing locks) they fall back to the
+  benign atomic-replace race rather than failing;
 - a **corrupted entry** (truncated .so, missing symbol) is unlinked and
   recompiled instead of crashing.
+
+*Structured* regions (reduction tails, ``linear`` heads) compile as a
+pipeline planned by :func:`repro.codegen.crender.stage_plan`: host GEMMs
+into workspaces, then one kernel per map/reduce stage.  Passing
+``specialize=True`` renders every stage with its concrete shapes as
+literal loop bounds — the serving planner compiles each bucket this way so
+``-O3`` can unroll and vectorize batch-1 loops — keyed into the same cache
+by (structure, shapes); the dynamic-shape kernels remain the default for
+eager/lazy use.
 
 When codegen is disabled (``REPRO_CODEGEN=0``), no compiler is available,
 or a compile fails, :func:`compile_region` falls back to the numpy
@@ -21,7 +34,10 @@ interpreter arm — bit-equal to the compiled arm by contract, so the
 fallback is purely a performance event.  It is counted as one: the module
 registers ``repro_codegen_*`` counters and a ``compile_ms`` histogram in
 the process-default observability registry (:func:`repro.obs.get_registry`),
-all off the kernel execution hot path.
+all off the kernel execution hot path.  The ``mode``-labelled
+``repro_codegen_cache_{hit,miss}_total`` counters separate this process's
+traffic (``mode="local"``) from worker-process compiles that
+:func:`ingest_worker_codegen_stats` folds in (``mode="process"``).
 """
 
 from __future__ import annotations
@@ -38,7 +54,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.codegen.crender import render_kernel
+from repro.codegen.crender import kernel_arity, render_kernel, stage_plan
 from repro.codegen.region import RegionIR
 
 __all__ = [
@@ -50,6 +66,7 @@ __all__ = [
     "compile_region",
     "clear_kernel_memo",
     "codegen_stats",
+    "ingest_worker_codegen_stats",
 ]
 
 _FALSY = ("", "0", "off", "false", "no")
@@ -161,6 +178,18 @@ def _metrics():
                 "Wall time of one region kernel compile",
                 buckets=(1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0),
             ),
+            "cache_hit": registry.counter(
+                "repro_codegen_cache_hit_total",
+                "Kernel lookups resolved without compiling (memo or disk), "
+                "by where the lookup ran",
+                labelnames=("mode",),
+            ),
+            "cache_miss": registry.counter(
+                "repro_codegen_cache_miss_total",
+                "Kernel lookups that compiled from source, by where the "
+                "compile ran",
+                labelnames=("mode",),
+            ),
         }
     return _metrics_cache
 
@@ -169,6 +198,25 @@ def codegen_stats() -> dict:
     """Plain-int snapshot of the codegen counters (tests, bench reports)."""
     with _LOCK:
         return dict(_STATS)
+
+
+def ingest_worker_codegen_stats(stats: dict, mode: str = "process") -> None:
+    """Fold a worker process's :func:`codegen_stats` snapshot into this
+    process's ``mode``-labelled cache counters.
+
+    ``ProcServer`` workers compile kernels in their own processes, invisible
+    to the parent's ``/metrics`` edge; each worker reports its snapshot once
+    (at ready-handshake time, when its session pool — and therefore every
+    kernel it will use — has been built), so snapshots are deltas and sum
+    correctly across respawns.
+    """
+    hits = int(stats.get("disk_hits", 0)) + int(stats.get("memo_hits", 0))
+    misses = int(stats.get("compiled", 0))
+    metrics = _metrics()
+    if hits:
+        metrics["cache_hit"].labels(mode=mode).inc(hits)
+    if misses:
+        metrics["cache_miss"].labels(mode=mode).inc(misses)
 
 
 _STATS = {"compiled": 0, "disk_hits": 0, "memo_hits": 0, "fallbacks": 0}
@@ -241,6 +289,58 @@ def _load(so_path: Path, name: str, n_in: int):
     return call, (lib,)
 
 
+@contextlib.contextmanager
+def _entry_lock(cache_dir: Path, stem: str):
+    """Advisory per-entry lock for cross-process compile serialization.
+
+    Lock-or-lose-gracefully: when :mod:`fcntl` is unavailable or the
+    filesystem refuses the lock, yield without it — the atomic
+    ``os.replace`` publish keeps the unlocked race benign (last writer
+    wins with identical bytes), it just wastes a duplicate compile.
+    The ``.lock`` file is left in place; unlinking it would race with a
+    process that just opened it.
+    """
+    handle = None
+    locked = False
+    try:
+        import fcntl
+
+        handle = open(cache_dir / f"{stem}.lock", "a+b")
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        locked = True
+    except (ImportError, OSError):
+        pass
+    try:
+        yield locked
+    finally:
+        if handle is not None:
+            if locked:
+                with contextlib.suppress(OSError):
+                    import fcntl
+
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+            handle.close()
+
+
+def _try_disk_hit(so_path: Path, name: str, n_in: int) -> Optional[tuple]:
+    """Load an existing cache entry; unlink (don't crash) on corruption."""
+    if not so_path.exists():
+        return None
+    try:
+        loaded = _load(so_path, name, n_in)
+    except (OSError, AttributeError):
+        # Corrupted entry (truncated write, bad disk, wrong arch):
+        # drop it and let the caller recompile.
+        with contextlib.suppress(OSError):
+            so_path.unlink()
+        return None
+    _metrics()["cache_hits"].inc()
+    _metrics()["cache_hit"].labels(mode="local").inc()
+    with _LOCK:
+        _STATS["disk_hits"] += 1
+    return loaded
+
+
 def _compile_to_cache(signature) -> Optional[tuple]:
     """Compile (or cache-load) the kernel for one signature.
 
@@ -258,48 +358,47 @@ def _compile_to_cache(signature) -> Optional[tuple]:
     ).hexdigest()[:20]
     cache_dir = kernel_cache_dir()
     so_path = cache_dir / f"{name}-{content}.so"
-    n_in = len(signature[3])
+    n_in = kernel_arity(signature)
 
-    if so_path.exists():
-        try:
-            loaded = _load(so_path, name, n_in)
-            _metrics()["cache_hits"].inc()
-            with _LOCK:
-                _STATS["disk_hits"] += 1
-            return loaded
-        except (OSError, AttributeError):
-            # Corrupted entry (truncated write, bad disk, wrong arch):
-            # drop it and recompile below.
-            with contextlib.suppress(OSError):
-                so_path.unlink()
+    loaded = _try_disk_hit(so_path, name, n_in)
+    if loaded is not None:
+        return loaded
 
     try:
         cache_dir.mkdir(parents=True, exist_ok=True)
     except OSError:
         return None
-    start = time.perf_counter()
-    tmp_dir = tempfile.mkdtemp(dir=str(cache_dir))
-    try:
-        c_path = Path(tmp_dir) / f"{name}.c"
-        tmp_so = Path(tmp_dir) / f"{name}.so"
-        c_path.write_text(source)
-        proc = subprocess.run(
-            [cc, *_CFLAGS, "-o", str(tmp_so), str(c_path)],
-            capture_output=True,
-            text=True,
-            timeout=120,
-        )
-        if proc.returncode != 0:
+
+    with _entry_lock(cache_dir, f"{name}-{content}"):
+        # Double-check under the lock: the process that held it before us
+        # may have just published this entry.
+        loaded = _try_disk_hit(so_path, name, n_in)
+        if loaded is not None:
+            return loaded
+
+        start = time.perf_counter()
+        tmp_dir = tempfile.mkdtemp(dir=str(cache_dir))
+        try:
+            c_path = Path(tmp_dir) / f"{name}.c"
+            tmp_so = Path(tmp_dir) / f"{name}.so"
+            c_path.write_text(source)
+            proc = subprocess.run(
+                [cc, *_CFLAGS, "-o", str(tmp_so), str(c_path)],
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                return None
+            # Keep the source next to the binary for debuggability; both are
+            # content-addressed, so concurrent racers write identical bytes.
+            with contextlib.suppress(OSError):
+                os.replace(str(c_path), str(cache_dir / f"{name}-{content}.c"))
+            os.replace(str(tmp_so), str(so_path))
+        except (OSError, subprocess.SubprocessError):
             return None
-        # Keep the source next to the binary for debuggability; both are
-        # content-addressed, so concurrent racers write identical bytes.
-        with contextlib.suppress(OSError):
-            os.replace(str(c_path), str(cache_dir / f"{name}-{content}.c"))
-        os.replace(str(tmp_so), str(so_path))
-    except (OSError, subprocess.SubprocessError):
-        return None
-    finally:
-        shutil.rmtree(tmp_dir, ignore_errors=True)
+        finally:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
     elapsed_ms = (time.perf_counter() - start) * 1000.0
     try:
         loaded = _load(so_path, name, n_in)
@@ -307,6 +406,7 @@ def _compile_to_cache(signature) -> Optional[tuple]:
         return None
     _metrics()["compiled"].inc()
     _metrics()["compile_ms"].observe(elapsed_ms)
+    _metrics()["cache_miss"].labels(mode="local").inc()
     with _LOCK:
         _STATS["compiled"] += 1
     return loaded
@@ -314,10 +414,17 @@ def _compile_to_cache(signature) -> Optional[tuple]:
 
 def _kernel_for(signature):
     """The loaded native kernel for ``signature``, or ``None`` (memoized)."""
+    sentinel = object()
     with _LOCK:
-        if signature in _MEMO:
+        resolved = _MEMO.get(signature, sentinel)
+        if resolved is not sentinel:
             _STATS["memo_hits"] += 1
-            return _MEMO[signature]
+    if resolved is not sentinel:
+        if resolved is not None:
+            # Memoized fallbacks (None) are not cache hits — nothing was
+            # served; they re-count as fallbacks at the region level.
+            _metrics()["cache_hit"].labels(mode="local").inc()
+        return resolved
     resolved = _compile_to_cache(signature)
     with _LOCK:
         # A racing thread may have resolved it first; keep the winner so
@@ -329,31 +436,12 @@ def _kernel_for(signature):
 # --------------------------------------------------------------------------- #
 # The public fusion point
 # --------------------------------------------------------------------------- #
-def compile_region(region: RegionIR) -> Callable:
-    """Compile one region into ``kernel(arrays, out=None) -> ndarray``.
+def _as_buffer(a: np.ndarray) -> np.ndarray:
+    """A ≥1-d view for the FFI layer (0-d arrays confuse ``from_buffer``)."""
+    return a if a.ndim else a.reshape(1)
 
-    The returned callable takes the region's *dynamic* input arrays (consts
-    are bound inside) and an optional pre-allocated ``out`` buffer.  It runs
-    the native kernel when codegen is enabled and a compiler is available,
-    and the numpy-interpreter arm otherwise — the two arms are bit-equal,
-    so which one you got is observable only through the codegen counters
-    (and :func:`codegen_stats`).
-    """
-    resolved = None
-    if codegen_enabled():
-        resolved = _kernel_for(region.signature())
-    if resolved is None:
-        _metrics()["fallback"].inc()
-        with _LOCK:
-            _STATS["fallbacks"] += 1
-        interpret = region.interpret
 
-        def kernel(arrays, out=None):
-            return interpret(arrays, out=out)
-
-        kernel.is_compiled = False
-        return kernel
-
+def _elementwise_kernel(region: RegionIR, resolved: tuple) -> Callable:
     call, _keepalive = resolved
     bind = region.bind
     out_shape = region.out_shape
@@ -369,4 +457,113 @@ def compile_region(region: RegionIR) -> Callable:
         return out
 
     kernel.is_compiled = True
+    return kernel
+
+
+def _structured_kernel(region: RegionIR, specialize: bool) -> Optional[Callable]:
+    """Compile a structured region as host GEMMs + a stage pipeline.
+
+    Returns ``None`` when the program cannot be stage-planned or any stage
+    fails to compile — the caller falls back to the interpreter arm for the
+    *whole* region, keeping the two-arm bit-equality trivially.
+    """
+    plan = stage_plan(region)
+    if plan is None:
+        return None
+    dtype_str = str(region.out_dtype)
+    calls = []
+    for stage in plan.stages:
+        resolved = _kernel_for(stage.signature(dtype_str, specialize))
+        if resolved is None:
+            return None
+        calls.append(resolved[0])
+
+    out_dtype = region.out_dtype
+    out_shape = region.out_shape
+    bind = region.bind
+    ascontiguous = np.ascontiguousarray
+    matmuls = plan.matmuls
+    stages = plan.stages
+    last = len(stages) - 1
+    dims = [np.asarray(st.core_shape or (0,), dtype=np.int64) for st in stages]
+    scratch_n = [
+        int(np.prod(st.core_shape[len(st.core_shape) - st.reduce[0]:], dtype=np.int64))
+        if st.reduce is not None else 0
+        for st in stages
+    ]
+
+    def kernel(arrays, out=None):
+        bound = [ascontiguous(a) for a in bind(arrays)]
+        mm_outs = [np.matmul(bound[x], bound[w]) for x, w, _b, _shape in matmuls]
+        stage_outs = []
+        for si, stage in enumerate(stages):
+            ins = []
+            for kind, idx in stage.inputs:
+                if kind == "ext":
+                    ins.append(bound[idx])
+                elif kind == "mm":
+                    ins.append(mm_outs[idx])
+                else:
+                    ins.append(stage_outs[idx])
+            ins = [_as_buffer(a) for a in ins]
+            if stage.reduce is not None:
+                ins.append(np.empty(scratch_n[si], out_dtype))
+            if si == last:
+                buf = np.empty(out_shape, out_dtype) if out is None else out
+            else:
+                buf = np.empty(stage.out_shape, out_dtype)
+            calls[si](dims[si], ins, _as_buffer(buf))
+            stage_outs.append(buf)
+        return stage_outs[-1]
+
+    kernel.is_compiled = True
+    return kernel
+
+
+def compile_region(region: RegionIR, specialize: bool = False) -> Callable:
+    """Compile one region into ``kernel(arrays, out=None) -> ndarray``.
+
+    The returned callable takes the region's *dynamic* input arrays (consts
+    are bound inside) and an optional pre-allocated ``out`` buffer.  It runs
+    the native kernel when codegen is enabled and a compiler is available,
+    and the numpy-interpreter arm otherwise — the two arms are bit-equal,
+    so which one you got is observable only through the codegen counters
+    (and :func:`codegen_stats`).
+
+    With ``specialize=True`` the kernels render with the region's concrete
+    shapes as literal loop bounds (and literal strides), trading one cache
+    entry per shape for fully unrollable loops — the serving planner opts
+    in per compiled bucket, where the shapes are known and stable.
+    Specialized and dynamic kernels of the same region are distinct cache
+    entries; the numeric results are identical either way.
+    """
+    if codegen_enabled():
+        if region.is_elementwise:
+            if specialize:
+                signature = (
+                    "spec",
+                    region.ops,
+                    str(region.out_dtype),
+                    region.out_shape,
+                    tuple(inp.shape for inp in region.inputs),
+                )
+            else:
+                signature = region.signature()
+            resolved = _kernel_for(signature)
+            if resolved is not None:
+                return _elementwise_kernel(region, resolved)
+        else:
+            kernel = _structured_kernel(region, specialize)
+            if kernel is not None:
+                return kernel
+
+    _metrics()["fallback"].inc()
+    with _LOCK:
+        _STATS["fallbacks"] += 1
+    interpret = region.interpret
+
+    def kernel(arrays, out=None):
+        return interpret(arrays, out=out)
+
+    kernel.is_compiled = False
     return kernel

@@ -1,50 +1,78 @@
-"""Region IR: a straight-line elementwise program over broadcastable arrays.
+"""Region IR: a straight-line program over broadcastable arrays.
 
 A *region* is the unit the fusion passes extract and the execution backends
 compile: a DAG of elementwise operations (``add``/``sub``/``mul``/``div``/
-``neg``/``relu``) whose interior values each have exactly one consumer, so
-the whole thing can run as **one kernel** — a single pass over the output
-elements with zero materialized temporaries.
+``neg``/``relu``) plus three *structured* node kinds — trailing-axes
+``sum``/``mean`` reduction tails and a ``linear`` (GEMM + bias) head —
+whose interior values can run as **one kernel**: a single pass over the
+output elements for elementwise programs, accumulator loops for the
+reduction tails, and a host GEMM whose bias/activation epilogue folds into
+the first elementwise loop.
 
 The program form is linear SSA: slots ``[0, len(inputs))`` name the region
 inputs, and each op appends one more slot; the region's output is the last
-op's slot.  Inputs carry their effective dtype/shape, an optional
-``reshape`` applied to the bound array before use (batch-norm affine
-parameters are ``(C,)`` arrays broadcast as ``(1, C, 1, 1)``), and an
-optional ``const`` array bound at build time (frozen batch-norm statistics)
-so callers only supply the *dynamic* inputs.
+op's slot.  Ops are ``(op, src_slots)`` pairs; the reduction kinds carry a
+third *meta* element:
+
+- ``("sum", (s,), (k, keepdims))`` — reduce slot ``s`` over its last ``k``
+  axes (numpy ``sum(axis=tuple(range(nd-k, nd)))``); ``keepdims`` keeps
+  the reduced axes as size-1 dims.
+- ``("mean", (s,), (k, keepdims))`` — same axes, arithmetic mean.
+- ``("linear", (x, w[, b]))`` — ``matmul(x, w) + b``; all operands must be
+  *input* slots (the GEMM itself runs through the host BLAS — generated C
+  cannot be bit-equal to it — and only the epilogue joins the loop).
+
+Inputs carry their effective dtype/shape, an optional ``reshape`` applied
+to the bound array before use (batch-norm affine parameters are ``(C,)``
+arrays broadcast as ``(1, C, 1, 1)``), and an optional ``const`` array
+bound at build time (frozen batch-norm statistics) so callers only supply
+the *dynamic* inputs.
 
 Two execution arms share this IR:
 
 - :meth:`RegionIR.interpret` — the numpy arm: the exact ufunc-by-ufunc
   sequence the eager tape would have executed, so its results are
-  bit-identical to unfused eager execution by construction.
+  bit-identical to unfused eager execution by construction.  Reduction
+  accumulators are pinned to the region dtype (explicit ``dtype=`` on
+  ``np.sum``/``np.mean``) so the interpreter can never accumulate a
+  float32 region in float64 precision the C arm doesn't have.
 - the C arm (:mod:`repro.codegen.crender` + :mod:`repro.codegen.jit`) —
-  one compiled loop kernel.  Every region op maps to an IEEE-754 scalar
-  operation that numpy also implements as a plain IEEE op, so the two arms
-  are **bit-equal**; that equality is the contract the test suite enforces.
+  compiled loop kernels.  Every elementwise op maps to an IEEE-754 scalar
+  operation that numpy also implements as a plain IEEE op, and the
+  reduction tails replay numpy's own pairwise-summation order, so the two
+  arms are **bit-equal**; that equality is the contract the test suite
+  enforces.
 
-:meth:`RegionIR.signature` is the kernel-cache key: it abstracts concrete
-sizes into per-input *broadcast patterns* (which output dims an input
-actually strides over), so one compiled kernel serves every batch size of
-the same region structure, while a dtype or rank change misses the cache.
+:meth:`RegionIR.signature` is the kernel-cache key: for elementwise
+programs it abstracts concrete sizes into per-input *broadcast patterns*
+(which output dims an input actually strides over), so one compiled kernel
+serves every batch size of the same region structure, while a dtype or
+rank change misses the cache.  Structured regions include the concrete
+input shapes (their stage decomposition is shape-dependent), and
+:func:`repro.codegen.jit.compile_region` can *specialize* any region on
+its shapes so the loops render with constant bounds.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["REGION_OPS", "RegionInput", "RegionIR"]
+__all__ = ["REGION_OPS", "REGION_STRUCTURED_OPS", "RegionInput", "RegionIR"]
 
-#: Ops a region may contain.  Deliberately restricted to operations whose
-#: C scalar form is bit-equal to the numpy ufunc (IEEE add/sub/mul/div/neg
-#: plus the relu max-with-zero): transcendentals (exp, tanh, ...) use
-#: numpy's own SIMD polynomials and would break the two-arm equality.
+#: Elementwise ops a region may contain.  Deliberately restricted to
+#: operations whose C scalar form is bit-equal to the numpy ufunc (IEEE
+#: add/sub/mul/div/neg plus the relu max-with-zero): transcendentals
+#: (exp, tanh, ...) use numpy's own SIMD polynomials and would break the
+#: two-arm equality.
 REGION_OPS = ("add", "sub", "mul", "div", "neg", "relu")
 
-_ARITY = {"add": 2, "sub": 2, "mul": 2, "div": 2, "neg": 1, "relu": 1}
+#: Structured node kinds: trailing-axes reductions + the GEMM head.
+REGION_STRUCTURED_OPS = ("sum", "mean", "linear")
+
+_ARITY = {"add": 2, "sub": 2, "mul": 2, "div": 2, "neg": 1, "relu": 1,
+          "sum": 1, "mean": 1}
 
 _UFUNC = {
     "add": np.add,
@@ -78,31 +106,93 @@ class RegionInput:
         self.const = const
 
 
+def _normalize_op(entry) -> tuple:
+    """``(op, srcs)`` or ``(op, srcs, meta)`` → stored form.
+
+    Elementwise ops stay 2-tuples (keeping their signatures — and therefore
+    the kernel cache keys of every pre-existing region — byte-stable);
+    ``sum``/``mean`` keep their ``(k, keepdims)`` meta as a plain tuple.
+    """
+    if len(entry) == 2:
+        op, srcs = entry
+        if op in ("sum", "mean"):
+            raise ValueError(f"op {op!r} needs (k, keepdims) meta")
+        return (op, tuple(srcs))
+    op, srcs, meta = entry
+    if meta is None:
+        return (op, tuple(srcs))
+    if op not in ("sum", "mean"):
+        raise ValueError(f"op {op!r} takes no meta, got {meta!r}")
+    k, keepdims = meta
+    return (op, tuple(srcs), (int(k), bool(keepdims)))
+
+
+def _op_meta(entry) -> Optional[tuple]:
+    return entry[2] if len(entry) > 2 else None
+
+
+def _infer_slot_shapes(input_shapes: Sequence[Tuple[int, ...]], ops) -> List[tuple]:
+    """Shape of every slot, in slot order.  Raises on malformed programs."""
+    shapes = list(input_shapes)
+    for i, entry in enumerate(ops):
+        op, srcs = entry[0], entry[1]
+        meta = _op_meta(entry)
+        if op == "linear":
+            x, w = shapes[srcs[0]], shapes[srcs[1]]
+            if len(x) < 2 or len(w) != 2 or x[-1] != w[0]:
+                raise ValueError(
+                    f"op {i} (linear): incompatible shapes {x} @ {w}"
+                )
+            out = x[:-1] + (w[1],)
+            if len(srcs) == 3:
+                out = tuple(np.broadcast_shapes(out, shapes[srcs[2]]))
+            shapes.append(out)
+        elif op in ("sum", "mean"):
+            k, keepdims = meta
+            src = shapes[srcs[0]]
+            if not 1 <= k <= len(src):
+                raise ValueError(
+                    f"op {i} ({op}): cannot reduce last {k} axes of {src}"
+                )
+            kept = src[: len(src) - k]
+            shapes.append(kept + (1,) * k if keepdims else kept)
+        elif op in ("neg", "relu"):
+            shapes.append(shapes[srcs[0]])
+        else:
+            shapes.append(
+                tuple(np.broadcast_shapes(shapes[srcs[0]], shapes[srcs[1]]))
+            )
+    return shapes
+
+
 class RegionIR:
-    """A fused elementwise region: inputs + linear op program.
+    """A fused region: inputs + linear op program.
 
     Parameters
     ----------
     inputs:
         The region operands, in the order dynamic arguments are passed.
     ops:
-        ``(op, src_slots)`` pairs; ``src_slots`` index inputs
+        ``(op, src_slots)`` pairs — or ``(op, src_slots, meta)`` triples
+        for the reduction kinds; ``src_slots`` index inputs
         (``< len(inputs)``) or earlier op results (``len(inputs) + i``).
     out_shape, out_dtype:
         Shape/dtype of the final op's result (the region output).
     """
 
-    __slots__ = ("inputs", "ops", "out_shape", "out_dtype", "_signature")
+    __slots__ = (
+        "inputs", "ops", "out_shape", "out_dtype", "slot_shapes", "_signature"
+    )
 
     def __init__(
         self,
         inputs: Sequence[RegionInput],
-        ops: Sequence[Tuple[str, Tuple[int, ...]]],
+        ops: Sequence[tuple],
         out_shape: Tuple[int, ...],
         out_dtype,
     ) -> None:
         self.inputs = tuple(inputs)
-        self.ops = tuple((op, tuple(srcs)) for op, srcs in ops)
+        self.ops = tuple(_normalize_op(entry) for entry in ops)
         self.out_shape = tuple(out_shape)
         self.out_dtype = np.dtype(out_dtype)
         self._signature = None
@@ -111,11 +201,25 @@ class RegionIR:
         if self.out_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ValueError(f"regions are float32/float64 only, got {self.out_dtype}")
         n_in = len(self.inputs)
-        for i, (op, srcs) in enumerate(self.ops):
-            if op not in _ARITY:
+        for i, entry in enumerate(self.ops):
+            op, srcs = entry[0], entry[1]
+            if op == "linear":
+                if len(srcs) not in (2, 3):
+                    raise ValueError(
+                        f"op {i} (linear) takes 2 or 3 operands, got {len(srcs)}"
+                    )
+                if any(s >= n_in for s in srcs):
+                    raise ValueError(
+                        f"op {i} (linear) operands must be region inputs "
+                        f"(the GEMM runs on the host), got slots {srcs}"
+                    )
+            elif op in _ARITY:
+                if len(srcs) != _ARITY[op]:
+                    raise ValueError(
+                        f"op {op!r} takes {_ARITY[op]} operands, got {len(srcs)}"
+                    )
+            else:
                 raise ValueError(f"unknown region op {op!r}")
-            if len(srcs) != _ARITY[op]:
-                raise ValueError(f"op {op!r} takes {_ARITY[op]} operands, got {len(srcs)}")
             for s in srcs:
                 if not 0 <= s < n_in + i:
                     raise ValueError(f"op {i} ({op}) references undefined slot {s}")
@@ -125,11 +229,24 @@ class RegionIR:
                     f"region inputs must share the output dtype {self.out_dtype}, "
                     f"got {inp.dtype}"
                 )
+        self.slot_shapes = _infer_slot_shapes(
+            [inp.shape for inp in self.inputs], self.ops
+        )
+        if self.slot_shapes[-1] != self.out_shape:
+            raise ValueError(
+                f"program produces shape {self.slot_shapes[-1]}, "
+                f"declared out_shape is {self.out_shape}"
+            )
 
     @property
     def num_dynamic(self) -> int:
         """How many (non-const) arrays a caller passes per execution."""
         return sum(1 for inp in self.inputs if inp.const is None)
+
+    @property
+    def is_elementwise(self) -> bool:
+        """Whether the program contains only plain elementwise ops."""
+        return all(len(entry) == 2 and entry[0] != "linear" for entry in self.ops)
 
     # ------------------------------------------------------------------ #
     # Cache key
@@ -139,25 +256,40 @@ class RegionIR:
 
         The input's effective shape is right-aligned against the output
         shape (numpy broadcasting); missing leading dims and size-1 dims
-        read with stride 0.
+        read with stride 0.  (Elementwise regions only — a structured
+        region's inputs broadcast against their *stage* shapes, computed by
+        the stage planner.)
         """
         ndim = len(self.out_shape)
         shape = (1,) * (ndim - len(inp.shape)) + inp.shape
         return tuple(0 if s == 1 else 1 for s in shape)
 
     def signature(self) -> tuple:
-        """Structural kernel-cache key: op program, dtype, rank, broadcast
-        patterns — everything the rendered C depends on, and nothing else
-        (concrete sizes are runtime arguments, so one kernel serves every
-        batch size)."""
+        """Structural kernel-cache key.
+
+        Elementwise regions: op program, dtype, rank, broadcast patterns —
+        everything the rendered C depends on, and nothing else (concrete
+        sizes are runtime arguments, so one kernel serves every batch
+        size).  Structured regions (reductions / linear): the concrete
+        input shapes join the key — their host/stage decomposition is
+        shape-dependent — so two sizes are two keys.
+        """
         sig = self._signature
         if sig is None:
-            sig = (
-                self.ops,
-                str(self.out_dtype),
-                len(self.out_shape),
-                tuple(self.broadcast_pattern(inp) for inp in self.inputs),
-            )
+            if self.is_elementwise:
+                sig = (
+                    self.ops,
+                    str(self.out_dtype),
+                    len(self.out_shape),
+                    tuple(self.broadcast_pattern(inp) for inp in self.inputs),
+                )
+            else:
+                sig = (
+                    "structured",
+                    self.ops,
+                    str(self.out_dtype),
+                    tuple(inp.shape for inp in self.inputs),
+                )
             self._signature = sig
         return sig
 
@@ -171,26 +303,19 @@ class RegionIR:
         array shape would be pre-reshape and ambiguous).
         """
         new_inputs = []
-        slot_shapes = []
         j = 0
         for inp in self.inputs:
             if inp.const is not None:
                 new_inputs.append(inp)
-                slot_shapes.append(inp.shape)
                 continue
             if inp.reshape is not None:
                 raise ValueError("cannot respecialize a region with reshaped inputs")
             shape = tuple(shapes[j])
             j += 1
             new_inputs.append(RegionInput(inp.dtype, shape))
-            slot_shapes.append(shape)
-        for op, srcs in self.ops:
-            if op in ("neg", "relu"):
-                slot_shapes.append(slot_shapes[srcs[0]])
-            else:
-                slot_shapes.append(
-                    tuple(np.broadcast_shapes(slot_shapes[srcs[0]], slot_shapes[srcs[1]]))
-                )
+        slot_shapes = _infer_slot_shapes(
+            [inp.shape for inp in new_inputs], self.ops
+        )
         return RegionIR(new_inputs, self.ops, slot_shapes[-1], self.out_dtype)
 
     # ------------------------------------------------------------------ #
@@ -241,15 +366,35 @@ class RegionIR:
         so results are bit-identical to no-fusion by construction; it is
         also the reference the C arm must match.  ``out``, when given, is
         used as the final op's ``out=`` buffer (same values, zero-alloc).
+
+        Reduction accumulators are **pinned to the region dtype** (explicit
+        ``dtype=``): numpy would otherwise be free to accumulate a float32
+        reduction at float64 precision on some paths, and the f32 C kernel
+        has no such widening — the pin keeps the two arms bit-equal.
         """
         vals = self.bind(arrays)
         last = len(self.ops) - 1
-        for i, (op, srcs) in enumerate(self.ops):
+        dtype = self.out_dtype
+        for i, entry in enumerate(self.ops):
+            op, srcs = entry[0], entry[1]
             dst = out if (i == last and out is not None) else None
             if op == "neg":
                 r = np.negative(vals[srcs[0]], out=dst)
             elif op == "relu":
                 r = np.maximum(vals[srcs[0]], 0.0, out=dst)
+            elif op in ("sum", "mean"):
+                k, keepdims = entry[2]
+                v = vals[srcs[0]]
+                axes = tuple(range(v.ndim - k, v.ndim))
+                fn = np.sum if op == "sum" else np.mean
+                r = fn(v, axis=axes, keepdims=keepdims, dtype=dtype, out=dst)
+            elif op == "linear":
+                # Exactly the backend linear: a GEMM, then the bias added
+                # elementwise (the backends do `out += b`, which is the
+                # same IEEE add as np.add).
+                r = np.matmul(vals[srcs[0]], vals[srcs[1]], out=dst)
+                if len(srcs) == 3:
+                    r = np.add(r, vals[srcs[2]], out=dst)
             else:
                 r = _UFUNC[op](vals[srcs[0]], vals[srcs[1]], out=dst)
             vals.append(r)

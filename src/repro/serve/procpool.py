@@ -62,7 +62,12 @@ from repro.autograd.tensor import Tensor, no_grad
 from repro.backend import get_backend, use_backend
 from repro.backend.lazy import pause_deferral
 from repro.backend.registry import get_rng_state, set_backend, set_rng_state
-from repro.codegen.jit import codegen_enabled, enable_codegen
+from repro.codegen.jit import (
+    codegen_enabled,
+    codegen_stats,
+    enable_codegen,
+    ingest_worker_codegen_stats,
+)
 from repro.nn.module import Module
 from repro.serve.arena import ParamArena, RequestRing
 from repro.serve.frontend import (
@@ -189,8 +194,13 @@ def _worker_main(spec: dict, conn) -> None:
                                fuse=spec["fuse"])
 
         pool = build_pool()
+        # Pool construction is where this process compiles its bucket
+        # kernels, so the codegen counters are settled: snapshot them into
+        # the handshake and let the parent fold them into its /metrics
+        # (labeled mode="process" — a worker's disk hits are invisible to
+        # the parent's in-process counters otherwise).
         conn.send(("ready", os.getpid(), binder.version,
-                   pool.has_batch_statistics))
+                   pool.has_batch_statistics, codegen_stats()))
     except BaseException:
         try:
             conn.send(("fatal", traceback.format_exc()))
@@ -498,9 +508,13 @@ class _ProcWorkerProxy:
             )
         if reply[0] != "ready":
             raise RuntimeError(f"unexpected startup reply {reply[0]!r}")
-        _, pid, version, has_bs = reply
+        _, pid, version, has_bs = reply[:4]
         self.arena_version = version
         self.has_batch_statistics = has_bs
+        if len(reply) > 4 and reply[4]:
+            # Worker compile/cache counters, snapshotted after its pool
+            # build; fold into the parent's labeled mode="process" series.
+            ingest_worker_codegen_stats(reply[4])
         self._awaiting_ready = False
 
     def probe(self, rng_draw: bool = False, timeout: float = 30.0) -> dict:

@@ -541,7 +541,16 @@ class InferenceSession:
             shapes = [t.data.shape for t in node.inputs]
             if [inp.shape for inp in region.inputs if inp.const is None] != shapes:
                 region = region.respecialize(shapes)
-            kern = be.compile_region(region)
+            # Bucket kernels are shape-stable by construction (one compiled
+            # plan per padded batch size), so ask the backend for a
+            # shape-specialized kernel: constant loop bounds and literal
+            # strides instead of runtime dims.  Backends whose
+            # ``compile_region`` predates the keyword get the positional
+            # call (same values, dynamic bounds).
+            try:
+                kern = be.compile_region(region, specialize=True)
+            except TypeError:
+                kern = be.compile_region(region)
             buf = np.empty(example.shape, example.dtype)
 
             def step(values):
@@ -580,10 +589,10 @@ class InferenceSession:
             return step
 
         if op == "conv2d":
-            return self._emit_conv2d(node, attrs, getters, out_slot, example)
+            return self._emit_conv2d(node, attrs, getters, out_slot, example, slot_of)
 
         if op == "max_pool2d":
-            return self._emit_max_pool2d(node, attrs, getters, out_slot, example)
+            return self._emit_max_pool2d(node, attrs, getters, out_slot, example, slot_of)
 
         if op == "reshape":
             shape = attrs["shape"]
@@ -628,7 +637,7 @@ class InferenceSession:
 
         return step
 
-    def _emit_conv2d(self, node, attrs, getters, out_slot, example):
+    def _emit_conv2d(self, node, attrs, getters, out_slot, example, slot_of):
         """Conv replay with every workspace pre-allocated.
 
         Runs the exact arithmetic of the im2col kernel: the patch matrix is
@@ -637,7 +646,10 @@ class InferenceSession:
         view tensordot builds (same BLAS operand layouts → same bits), and
         the contraction is the same 2-D GEMM — but the padded image, the
         patch matrix and the GEMM output live in buffers allocated once at
-        compile time.
+        compile time.  The strided window view is hoisted out of the call
+        too: a session is shape-stable, so the view over the padded buffer
+        is a compile-time constant, and for unpadded convs the view over a
+        stable upstream buffer is built once and revalidated by identity.
         """
         (sh, sw), (ph, pw) = attrs["stride"], attrs["padding"]
         xd, wd = node.inputs[0].data, node.inputs[1].data
@@ -659,18 +671,50 @@ class InferenceSession:
         gemm4d = gemm_out.reshape(n, oh, ow, oc)
         buf = np.empty(example.shape, dtype)
 
+        def win_t_of(xp):
+            win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+            return win.transpose(0, 2, 3, 1, 4, 5)
+
+        if xp_buf is not None:
+            # Padded: the view base is the session-owned padded buffer, so
+            # the window view itself is a compile-time constant.
+            win_t = win_t_of(xp_buf)
+
+            def step(values):
+                xp_buf[:, :, ph : ph + h, pw : pw + w] = gx(values)
+                np.copyto(patches, win_t)
+                # The F-contiguous no-copy view tensordot itself hands to
+                # BLAS; a C-contiguous copy here would change sgemm's
+                # summation path (and the result's last bits) at some shapes.
+                wmat = gw(values).transpose(1, 2, 3, 0).reshape(c * kh * kw, oc)
+                np.matmul(patches2d, wmat, out=gemm_out)
+                np.copyto(buf, gemm4d.transpose(0, 3, 1, 2))
+                if gb is not None:
+                    np.add(buf, gb(values).reshape(1, -1, 1, 1), out=buf)
+                values[out_slot] = buf
+
+            return step
+
+        # Unpadded: the view base is whatever array the input getter hands
+        # back.  Interior steps write fixed session-owned buffers, so cache
+        # the view keyed by the base array's identity — the cached strong
+        # reference makes the ``is`` check exact (a live object's id cannot
+        # be reused).  Raw session inputs are rebound every call, and
+        # caching one would pin the caller's batch between calls, so those
+        # keep the per-call view construction.
+        in_slot = slot_of.get(id(node.inputs[0]))
+        cacheable = not (in_slot is not None and in_slot < len(self._input_meta))
+        cache = [None, None]
+
         def step(values):
             x = gx(values)
-            if xp_buf is not None:
-                xp_buf[:, :, ph : ph + h, pw : pw + w] = x
-                xp = xp_buf
+            if x is cache[0]:
+                win_t = cache[1]
             else:
-                xp = x
-            win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-            np.copyto(patches, win.transpose(0, 2, 3, 1, 4, 5))
-            # The F-contiguous no-copy view tensordot itself hands to BLAS;
-            # a C-contiguous copy here would change sgemm's summation path
-            # (and the result's last bits) at some shapes.
+                win_t = win_t_of(x)
+                if cacheable:
+                    cache[0], cache[1] = x, win_t
+            np.copyto(patches, win_t)
             wmat = gw(values).transpose(1, 2, 3, 0).reshape(c * kh * kw, oc)
             np.matmul(patches2d, wmat, out=gemm_out)
             np.copyto(buf, gemm4d.transpose(0, 3, 1, 2))
@@ -680,8 +724,15 @@ class InferenceSession:
 
         return step
 
-    def _emit_max_pool2d(self, node, attrs, getters, out_slot, example):
-        """Max-pool replay with the window matrix and argmax pre-allocated."""
+    def _emit_max_pool2d(self, node, attrs, getters, out_slot, example, slot_of):
+        """Max-pool replay with the window matrix and argmax pre-allocated.
+
+        Like conv, the window view is hoisted (compile-time over the padded
+        buffer, identity-cached over a stable upstream buffer), and the
+        winner gather runs as one flat ``np.take`` over precomputed base
+        offsets instead of rebuilding ``take_along_axis`` index grids per
+        call — the same elements copied either way, so bits are unchanged.
+        """
         (kh, kw), (sh, sw), (ph, pw) = (
             attrs["kernel_size"], attrs["stride"], attrs["padding"]
         )
@@ -698,20 +749,46 @@ class InferenceSession:
             xp_buf = None
         flat = np.empty((n, c, oh, ow, kh * kw), dtype)
         flat6d = flat.reshape(n, c, oh, ow, kh, kw)
+        flat1d = flat.reshape(-1)
         arg = np.empty((n, c, oh, ow), dtype=np.intp)
+        base_idx = (
+            np.arange(n * c * oh * ow, dtype=np.intp) * (kh * kw)
+        ).reshape(n, c, oh, ow)
+        idx = np.empty((n, c, oh, ow), dtype=np.intp)
         buf = np.empty(example.shape, dtype)
+
+        def win_of(xp):
+            return sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+
+        def gather(win):
+            np.copyto(flat6d, win)
+            np.argmax(flat, axis=-1, out=arg)
+            np.add(base_idx, arg, out=idx)
+            np.take(flat1d, idx, out=buf)
+
+        if xp_buf is not None:
+            win = win_of(xp_buf)
+
+            def step(values):
+                xp_buf[:, :, ph : ph + h, pw : pw + w] = gx(values)
+                gather(win)
+                values[out_slot] = buf
+
+            return step
+
+        in_slot = slot_of.get(id(node.inputs[0]))
+        cacheable = not (in_slot is not None and in_slot < len(self._input_meta))
+        cache = [None, None]
 
         def step(values):
             x = gx(values)
-            if xp_buf is not None:
-                xp_buf[:, :, ph : ph + h, pw : pw + w] = x
-                xp = xp_buf
+            if x is cache[0]:
+                win = cache[1]
             else:
-                xp = x
-            win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
-            np.copyto(flat6d, win)
-            np.argmax(flat, axis=-1, out=arg)
-            np.copyto(buf, np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0])
+                win = win_of(x)
+                if cacheable:
+                    cache[0], cache[1] = x, win
+            gather(win)
             values[out_slot] = buf
 
         return step

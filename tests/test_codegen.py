@@ -257,3 +257,304 @@ def test_codegen_counters_exported_to_registry(cache_dir):
         compile_region(region)
     text = get_registry().render()
     assert "repro_codegen_fallback_total" in text
+
+
+# --------------------------------------------------------------------------- #
+# Structured regions: reduction tails, linear heads, shape specialization
+# --------------------------------------------------------------------------- #
+def _reduce_region(op="sum", shape=(6, 10), k=1, keepdims=False, dtype=np.float32):
+    """``op((a * b), over the last k axes)`` — map stage + reduce tail."""
+    inputs = [RegionInput(dtype, shape) for _ in range(2)]
+    kept = shape[: len(shape) - k]
+    out_shape = kept + (1,) * k if keepdims else kept
+    ops = [("mul", (0, 1)), (op, (2,), (k, keepdims))]
+    return RegionIR(inputs, ops, out_shape, dtype)
+
+
+def _linear_region(b=True, tail=None, dtype=np.float32, n=4, d=6, m=8):
+    """``relu(x @ w [+ b])`` with an optional reduction tail."""
+    inputs = [RegionInput(dtype, (n, d)), RegionInput(dtype, (d, m))]
+    srcs = (0, 1)
+    if b:
+        inputs.append(RegionInput(dtype, (m,)))
+        srcs = (0, 1, 2)
+    first = len(inputs)
+    ops = [("linear", srcs), ("relu", (first,))]
+    out_shape = (n, m)
+    if tail is not None:
+        ops.append((tail, (first + 1,), (1, False)))
+        out_shape = (n,)
+    return RegionIR(inputs, ops, out_shape, dtype)
+
+
+def test_reduction_meta_is_part_of_the_program():
+    with pytest.raises(ValueError, match="meta"):
+        RegionIR(
+            [RegionInput(np.float32, (4, 8))], [("sum", (0,))], (4,), np.float32
+        )
+    r1 = _reduce_region(k=1)
+    r2 = _reduce_region(shape=(6, 10, 3), k=2)
+    assert r1.signature() != r2.signature()
+    assert not r1.is_elementwise
+    assert _chain_region().is_elementwise
+
+
+def test_reduction_interpret_matches_eager_and_pins_dtype():
+    # The interpreter arm must accumulate in the *region* dtype: a float32
+    # region sums in float32 (numpy's own default for float32 inputs), so
+    # cancellation behaves exactly like the eager backend — not like a
+    # higher-precision accumulator.  [1e8, 1, -1e8, 1] loses one of the 1s
+    # in float32; a float64 accumulator would keep both.
+    vals = np.array([[1e8, 1.0, -1e8, 1.0]], np.float32)
+    ones = np.ones_like(vals)
+    region = _reduce_region(shape=(1, 4), k=1)
+    got = region.interpret([vals, ones])
+    assert got.dtype == np.float32
+    expect = vals.sum(axis=-1)
+    assert got.tobytes() == expect.tobytes()
+    assert got[0] != np.float32(vals.astype(np.float64).sum())
+    # mean divides the same accumulator.
+    mregion = _reduce_region(op="mean", shape=(1, 4), k=1)
+    assert mregion.interpret([vals, ones]).tobytes() == vals.mean(axis=-1).tobytes()
+
+
+@needs_cc
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+@pytest.mark.parametrize("op", ["sum", "mean"])
+@pytest.mark.parametrize("specialize", [False, True])
+def test_reduction_tail_kernel_bit_equal_to_interpreter(cache_dir, dtype, op, specialize):
+    # Cover all three pairwise-summation regimes of the C arm: sequential
+    # (R < 8), the 8-lane block (8 <= R <= 128), and recursive halving
+    # (R > 128) — plus a multi-axis tail and keepdims.
+    cases = [
+        ((3, 5), 1, False),
+        ((4, 64), 1, False),
+        ((2, 1000), 1, True),
+        ((3, 4, 6), 2, False),
+    ]
+    for shape, k, keepdims in cases:
+        region = _reduce_region(op=op, shape=shape, k=k, keepdims=keepdims, dtype=dtype)
+        arrays = _arrays(region, seed=hash((shape, k)) % 1000)
+        with using_codegen(True):
+            kern = compile_region(region, specialize=specialize)
+        assert kern.is_compiled, (shape, k)
+        expect = region.interpret(arrays)
+        got = kern(arrays)
+        assert got.shape == expect.shape
+        assert got.tobytes() == expect.tobytes(), (shape, k, keepdims)
+        # out= lands the same bytes in the caller's buffer.
+        buf = np.empty(region.out_shape, region.out_dtype)
+        assert kern(arrays, out=buf) is buf
+        assert buf.tobytes() == expect.tobytes()
+
+
+@needs_cc
+@pytest.mark.parametrize("specialize", [False, True])
+@pytest.mark.parametrize("bias", [True, False])
+def test_linear_epilogue_kernel_matches_interpreter(cache_dir, specialize, bias):
+    region = _linear_region(b=bias)
+    arrays = _arrays(region, seed=9)
+    with using_codegen(True):
+        kern = compile_region(region, specialize=specialize)
+    assert kern.is_compiled
+    expect = region.interpret(arrays)
+    x, w = arrays[0], arrays[1]
+    eager = np.matmul(x, w)
+    if bias:
+        eager = np.add(eager, arrays[2])
+    eager = np.maximum(eager, 0.0)
+    assert expect.tobytes() == eager.tobytes()
+    assert kern(arrays).tobytes() == expect.tobytes()
+
+
+@needs_cc
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_linear_reduction_pipeline_kernel(cache_dir, dtype):
+    # GEMM head -> relu epilogue -> sum tail: three stages through one
+    # compiled pipeline, bit-equal to the interpreter and to eager numpy.
+    region = _linear_region(tail="sum", dtype=dtype)
+    arrays = _arrays(region, seed=21)
+    with using_codegen(True):
+        kern = compile_region(region)
+    assert kern.is_compiled
+    expect = region.interpret(arrays)
+    eager = np.maximum(np.add(np.matmul(arrays[0], arrays[1]), arrays[2]), 0.0)
+    eager = eager.sum(axis=-1, dtype=dtype)
+    assert expect.tobytes() == eager.tobytes()
+    assert kern(arrays).tobytes() == expect.tobytes()
+
+
+def test_scalar_full_reduction_compiles_or_interprets(cache_dir):
+    # Reduce over *every* axis: 0-d output exercises the (0,) dims path.
+    region = _reduce_region(shape=(5, 7), k=2)
+    arrays = _arrays(region, seed=2)
+    expect = np.multiply(*arrays).sum(dtype=np.float32)
+    with using_codegen(True):
+        kern = compile_region(region)
+    got = kern(arrays)
+    assert got.shape == ()
+    assert got.tobytes() == expect.tobytes()
+    with using_codegen(False):
+        interp = compile_region(region)
+    assert interp(arrays).tobytes() == expect.tobytes()
+
+
+def test_unplannable_structured_region_falls_back_whole(cache_dir):
+    # A post-reduce op that re-reads a pre-reduce interior cannot be staged;
+    # the whole region must resolve to the interpreter arm (still correct),
+    # never a half-compiled pipeline.
+    inputs = [RegionInput(np.float32, (4, 8))]
+    ops = [("relu", (0,)), ("sum", (1,), (1, True)), ("mul", (1, 2))]
+    region = RegionIR(inputs, ops, (4, 8), np.float32)
+    (x,) = _arrays(region, seed=13)
+    relu = np.maximum(x, 0.0)
+    expect = relu * relu.sum(axis=-1, keepdims=True, dtype=np.float32)
+    with using_codegen(True):
+        kern = compile_region(region)
+    assert kern.is_compiled is False
+    assert kern([x]).tobytes() == expect.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# Shape-specialized kernels and the shape-keyed cache
+# --------------------------------------------------------------------------- #
+@needs_cc
+def test_specialized_kernels_are_shape_keyed(cache_dir):
+    region8 = _chain_region(shape=(8, 16))
+    region64 = _chain_region(shape=(64, 16))
+    before = codegen_stats()
+    with using_codegen(True):
+        k8 = compile_region(region8, specialize=True)
+        k64 = compile_region(region64, specialize=True)
+    after = codegen_stats()
+    assert k8.is_compiled and k64.is_compiled
+    # One structure, two shapes -> two cache entries (the dynamic kernel
+    # would be a single shared one, see test_identical_region_hits_cache).
+    assert after["compiled"] == before["compiled"] + 2
+    assert len(list(cache_dir.glob("*.so"))) == 2
+    for region, kern in ((region8, k8), (region64, k64)):
+        arrays = _arrays(region, seed=1)
+        assert kern(arrays).tobytes() == region.interpret(arrays).tobytes()
+
+    # Shape-keyed entries round-trip through the disk cache: a fresh memo
+    # reloads both .so files instead of recompiling.
+    clear_kernel_memo()
+    with using_codegen(True):
+        k8b = compile_region(region8, specialize=True)
+        k64b = compile_region(region64, specialize=True)
+    final = codegen_stats()
+    assert k8b.is_compiled and k64b.is_compiled
+    assert final["compiled"] == after["compiled"]
+    assert final["disk_hits"] == after["disk_hits"] + 2
+
+
+@needs_cc
+def test_specialized_and_dynamic_kernels_coexist(cache_dir):
+    region = _reduce_region(shape=(4, 32), k=1)
+    arrays = _arrays(region, seed=8)
+    with using_codegen(True):
+        dyn = compile_region(region)
+        spec = compile_region(region, specialize=True)
+    assert dyn.is_compiled and spec.is_compiled
+    assert dyn(arrays).tobytes() == spec(arrays).tobytes()
+    # Distinct cache entries: specializing never shadows the dynamic kernel.
+    assert len(list(cache_dir.glob("*.so"))) == 2
+
+
+# --------------------------------------------------------------------------- #
+# Cross-process cache concurrency + the mode-labelled counters
+# --------------------------------------------------------------------------- #
+def _concurrent_compile_worker(barrier, queue):
+    # Runs in a forked child: compile the same reduction region as every
+    # sibling, all released through one barrier to maximize lock contention.
+    import numpy as _np
+
+    from repro.codegen import clear_kernel_memo as _clear
+    from repro.codegen import compile_region as _cr, codegen_stats as _stats
+    from repro.codegen import RegionIR as _R, RegionInput as _RI
+    from repro.codegen.jit import using_codegen as _using
+
+    shape = (3, 37)
+    region = _R(
+        [_RI(_np.float32, shape), _RI(_np.float32, shape)],
+        [("mul", (0, 1)), ("sum", (2,), (1, False))],
+        (3,),
+        _np.float32,
+    )
+    rng = _np.random.default_rng(0)
+    arrays = [rng.standard_normal(shape).astype(_np.float32) for _ in range(2)]
+    # Forked children inherit the parent's kernel memo; drop it so each
+    # child resolves against the shared *disk* cache like a fresh worker.
+    _clear()
+    before = _stats()["compiled"]
+    barrier.wait(timeout=60)
+    with _using(True):
+        kern = _cr(region)
+    queue.put(
+        (
+            bool(kern.is_compiled),
+            kern(arrays).tobytes(),
+            region.interpret(arrays).tobytes(),
+            _stats()["compiled"] - before,
+        )
+    )
+
+
+@needs_cc
+def test_concurrent_processes_share_one_compile(cache_dir):
+    # N processes race to compile one kernel into a shared cache: the
+    # per-entry flock serializes them into one compile + N-1 disk hits,
+    # one .so on disk, and identical bytes everywhere.
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    n = 4
+    barrier = ctx.Barrier(n)
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(target=_concurrent_compile_worker, args=(barrier, queue))
+        for _ in range(n)
+    ]
+    for p in procs:
+        p.start()
+    results = [queue.get(timeout=120) for _ in range(n)]
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    assert all(compiled for compiled, _, _, _ in results)
+    reference = results[0][2]
+    for _, got, interp, _ in results:
+        assert got == reference and interp == reference
+    # Exactly one child actually invoked the compiler...
+    assert sum(compiled_count for _, _, _, compiled_count in results) == 1
+    # ...and exactly one entry landed on disk.
+    assert len(list(cache_dir.glob("*.so"))) == 1
+    assert list(cache_dir.glob("*.lock"))  # the advisory lock was taken
+
+
+@needs_cc
+def test_cache_counters_are_mode_labelled(cache_dir):
+    from repro.obs.metrics import get_registry
+
+    from repro.codegen import ingest_worker_codegen_stats
+
+    region = _chain_region(shape=(9, 13))
+    before = codegen_stats()
+    with using_codegen(True):
+        compile_region(region)  # compile: one mode="local" miss
+    clear_kernel_memo()
+    with using_codegen(True):
+        compile_region(region)  # disk reload: one mode="local" hit
+    after = codegen_stats()
+    assert after["compiled"] == before["compiled"] + 1
+    assert after["disk_hits"] == before["disk_hits"] + 1
+    text = get_registry().render()
+    assert 'repro_codegen_cache_miss_total{mode="local"}' in text
+    assert 'repro_codegen_cache_hit_total{mode="local"}' in text
+
+    # A worker snapshot folds in under mode="process": ProcServer sends
+    # codegen_stats() with its ready handshake and the parent ingests it.
+    ingest_worker_codegen_stats({"compiled": 2, "disk_hits": 3, "memo_hits": 1})
+    text = get_registry().render()
+    assert 'repro_codegen_cache_miss_total{mode="process"}' in text
+    assert 'repro_codegen_cache_hit_total{mode="process"}' in text

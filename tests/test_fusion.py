@@ -410,3 +410,170 @@ def test_fusion_applies_inside_nn_modules():
         loss.backward()
     assert out._node.op == "linear_relu"
     assert all(p.grad is not None for p in model.parameters())
+
+
+# --------------------------------------------------------------------------- #
+# Structured capture regions: reduction tails
+# --------------------------------------------------------------------------- #
+@requires_eager_data
+def test_captured_reduction_tail_joins_the_region():
+    rng = np.random.default_rng(19)
+    a = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+    b = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+    from repro.autograd import no_grad
+
+    with no_grad(), ir.capture():
+        out = (a * b).sum(axis=-1)
+    assert fusion.fuse(out) == {"region": 1}
+    assert out._node.op == "region"
+    region = out._node.attrs["region"]
+    assert region.ops == (("mul", (0, 1)), ("sum", (2,), (1, False)))
+    assert not region.is_elementwise
+
+
+@requires_eager_data
+def test_captured_mean_tail_fuses_with_its_epilogue():
+    # Tensor.mean lowers to sum + div-by-count: both join one region, the
+    # division riding along as a post-reduce elementwise stage.
+    rng = np.random.default_rng(20)
+    a = Tensor(rng.standard_normal((3, 16)).astype(np.float32))
+    b = Tensor(rng.standard_normal((3, 16)).astype(np.float32))
+    from repro.autograd import no_grad
+
+    with no_grad(), ir.capture():
+        out = (a * b).relu().mean(axis=-1)
+    assert fusion.fuse(out) == {"region": 1}
+    ops = [op[0] for op in out._node.attrs["region"].ops]
+    assert ops == ["mul", "relu", "sum", "div"]
+
+
+def test_training_sum_is_not_absorbed_into_regions():
+    # Training tapes keep their sum nodes: the region backward covers only
+    # elementwise programs, and training nodes carry no axis metadata.
+    rng = np.random.default_rng(21)
+    a = Tensor(rng.standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+    b = Tensor(rng.standard_normal((4, 8)).astype(np.float32), requires_grad=True)
+    out = (a * b).sum(axis=-1)
+    fusion.fuse(out)
+    assert out._node.op == "sum"
+
+
+# --------------------------------------------------------------------------- #
+# Multi-consumer regions: duplicated cheap producers
+# --------------------------------------------------------------------------- #
+@requires_eager_data
+def test_fanout_producer_is_duplicated_into_one_region():
+    # p feeds two eligible elementwise consumers: instead of refusing the
+    # whole chain, the pass recomputes p inside the region and routes its
+    # gradient through the external accumulation path.
+    x = Tensor([1.0, -2.0, 3.0], requires_grad=True)
+    y = Tensor([0.5, 4.0, -1.5], requires_grad=True)
+    p = x * y
+    out = p.relu() + (-p)
+    assert fusion.fuse(out) == {"region": 1}
+    assert out._node.op == "region"
+    # p's node survives (it owes its own VJP), unlike single-consumer
+    # members which are bypassed and freed with the region.
+    assert p._node.out is not None
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("codegen", [False, True])
+def test_duplicated_producer_gradients_bit_identical(backend, codegen):
+    from repro.codegen import using_codegen
+
+    def run(fused: bool):
+        rng = np.random.default_rng(23)
+        with use_backend(backend):
+            x = Tensor(
+                rng.standard_normal((5, 7)).astype(np.float32), requires_grad=True
+            )
+            y = Tensor(
+                rng.standard_normal((5, 7)).astype(np.float32), requires_grad=True
+            )
+            with fusion.using_fusion(fused), using_codegen(codegen):
+                p = x * y
+                loss = (p.relu() * x + (-p) * y).sum()
+                loss.backward()
+            return loss.data.copy(), x.grad.copy(), y.grad.copy()
+
+    for want, got in zip(run(False), run(True)):
+        np.testing.assert_array_equal(want, got)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_self_fanout_square_gradients_bit_identical(backend):
+    # mul(p, p): both consumer edges are the same node — the duplication
+    # bookkeeping must count it as one fan-out of two uses.
+    def run(fused: bool):
+        rng = np.random.default_rng(29)
+        with use_backend(backend):
+            x = Tensor(
+                rng.standard_normal((6,)).astype(np.float32), requires_grad=True
+            )
+            y = Tensor(
+                rng.standard_normal((6,)).astype(np.float32), requires_grad=True
+            )
+            with fusion.using_fusion(fused):
+                p = x * y
+                loss = ((p * p) + x).sum()
+                loss.backward()
+            return loss.data.copy(), x.grad.copy(), y.grad.copy()
+
+    for want, got in zip(run(False), run(True)):
+        np.testing.assert_array_equal(want, got)
+
+
+def test_three_way_fanout_is_still_refused():
+    # Three consumers would need a three-term gradient accumulation whose
+    # grouping differs from eager; the pass must leave the graph alone.
+    x = Tensor([1.0, -2.0], requires_grad=True)
+    y = Tensor([3.0, 0.5], requires_grad=True)
+    p = x * y
+    out = p.relu() + (-p) + p * y
+    stats = fusion.fuse(out)
+    assert p._node.out is not None
+    out.backward(np.ones(2, dtype=np.float32))
+    # Reference grads from the eager formula.
+    relu_mask = (p.data > 0).astype(np.float32)
+    dp = relu_mask - 1.0 + y.data
+    np.testing.assert_array_equal(x.grad, dp * y.data)
+
+
+# --------------------------------------------------------------------------- #
+# Serving sessions over structured regions
+# --------------------------------------------------------------------------- #
+class _MeanTailModel(nn.Module):
+    """Linear+relu trunk with a fused mean-over-features head."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.proj = nn.Linear(8, 6, rng=rng)
+
+    def forward(self, x):
+        h = self.proj(x).relu()
+        return (h * 2.0 + 1.0).mean(axis=-1)
+
+
+@pytest.mark.parametrize("codegen", [False, True])
+def test_session_with_reduction_tail_matches_eager(codegen):
+    from repro.autograd import no_grad
+    from repro.codegen import using_codegen
+    from repro.serve import compile_inference
+
+    rng = np.random.default_rng(33)
+    model = _MeanTailModel(np.random.default_rng(7))
+    model.eval()
+    x = rng.standard_normal((4, 8)).astype(np.float32)
+    with no_grad():
+        expected = model(x).data
+    with fusion.using_fusion(True), using_codegen(codegen):
+        session = compile_inference(model, x)
+        assert session.fused_counts.get("region", 0) >= 1
+        got = session.run(x)
+    assert got.tobytes() == expected.tobytes()
+    # Replay respecializes per bucket: a second batch reuses the session.
+    x2 = rng.standard_normal((4, 8)).astype(np.float32)
+    with no_grad():
+        expected2 = model(x2).data
+    assert session.run(x2).tobytes() == expected2.tobytes()

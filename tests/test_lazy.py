@@ -239,3 +239,66 @@ def test_compiled_session_under_lazy_matches_numpy():
             assert type(first) is np.ndarray
             assert first.tobytes() == ref.tobytes()
             assert session.run(rng.standard_normal((4, 8)).astype(np.float32)) is first
+
+
+# --------------------------------------------------------------------------- #
+# Deferral through trailing-axes reductions
+# --------------------------------------------------------------------------- #
+def test_trailing_reductions_defer(lazy_be):
+    a, b = _pair()
+    s = lazy_be.sum(lazy_be.multiply(a, b), axis=-1)
+    assert isinstance(s, LazyArray)
+    assert s.shape == (4,) and s._value is None
+    assert np.asarray(s).tobytes() == (a * b).sum(axis=-1).tobytes()
+
+    m = lazy_be.mean(lazy_be.add(a, b), axis=1, keepdims=True)
+    assert isinstance(m, LazyArray)
+    assert m.shape == (4, 1)
+    assert np.asarray(m).tobytes() == (a + b).mean(axis=1, keepdims=True).tobytes()
+
+    # axis=None is the full trailing run: defers to a 0-d region output.
+    t = lazy_be.sum(lazy_be.multiply(a, b), axis=None)
+    assert isinstance(t, LazyArray)
+    assert t.shape == ()
+    assert np.asarray(t).tobytes() == (a * b).sum().tobytes()
+
+
+def test_non_trailing_reductions_still_force(lazy_be):
+    a, b = _pair()
+    # Leading axis: not a trailing run, so the operand is forced and the
+    # eager ndarray method runs (the pre-existing behavior).
+    s = lazy_be.sum(lazy_be.multiply(a, b), axis=0)
+    assert isinstance(s, np.ndarray)
+    assert s.tobytes() == (a * b).sum(axis=0).tobytes()
+    m = lazy_be.mean(a, axis=0)
+    assert isinstance(m, np.ndarray)
+    assert m.tobytes() == a.mean(axis=0).tobytes()
+
+
+def test_deferred_reduction_chains_further(lazy_be):
+    # relu(x*y).sum(-1) then consumed by an elementwise op: the reduction
+    # joins the pending region and the whole DAG flushes as one program.
+    a, b = _pair(shape=(6, 16), seed=4)
+    r = lazy_be.sum(lazy_be.relu(lazy_be.multiply(a, b)), axis=-1)
+    z = lazy_be.add(r, r)
+    assert isinstance(z, LazyArray)
+    expect = np.maximum(a * b, 0.0).sum(axis=-1)
+    expect = expect + expect
+    assert np.asarray(z).tobytes() == expect.tobytes()
+
+
+def test_training_step_with_mean_tail_bit_equal_to_numpy():
+    def step():
+        rng = np.random.default_rng(31)
+        x = Tensor(rng.standard_normal((8, 16)).astype(np.float32), requires_grad=True)
+        s = Tensor(rng.standard_normal((8, 16)).astype(np.float32), requires_grad=True)
+        loss = ((x * s).relu().mean(axis=-1)).sum()
+        loss.backward()
+        return loss.numpy().copy(), x.grad.copy(), s.grad.copy()
+
+    with use_backend("numpy"):
+        ref = step()
+    with use_backend("lazy"):
+        lazy = step()
+    for r, l in zip(ref, lazy):
+        assert r.tobytes() == l.tobytes()

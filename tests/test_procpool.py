@@ -586,3 +586,56 @@ def test_async_server_propagates_deadline_errors():
 
     with _server(model, workers=1, worker_latency=0.3) as server:
         asyncio.run(run(server))
+
+
+# --------------------------------------------------------------------------- #
+# Structured regions across process boundaries
+# --------------------------------------------------------------------------- #
+class _ReduceTailModel(nn.Module):
+    """Linear+relu trunk with a fused mean-over-features head: its serving
+    trace carries a reduction-tail region, so worker processes exercise the
+    structured (multi-stage) kernels end to end.  Module-level so ``spawn``
+    workers can unpickle the factory."""
+
+    def __init__(self, seed: int = 7):
+        super().__init__()
+        self.proj = nn.Linear(6, 8, rng=np.random.default_rng(seed))
+
+    def forward(self, x):
+        h = self.proj(x).relu()
+        return (h * 0.5 + 0.25).mean(axis=-1, keepdims=True)
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_reduction_tail_model_bit_identical_across_processes(start_method):
+    import functools
+
+    model = _ReduceTailModel()
+    model.eval()
+    rng = np.random.default_rng(5)
+    reqs = [_req(rng, n) for n in (1, 3, 2)]
+    expected = [_eager(model, r) for r in reqs]
+    with ProcServer(model, np.zeros((1, 6), np.float32), buckets=(1, 2),
+                    workers=1, start_method=start_method, supervision=_FAST,
+                    model_factory=functools.partial(_ReduceTailModel)) as proc:
+        got = [proc.submit(r).result(timeout=120) for r in reqs]
+    for want, have in zip(expected, got):
+        assert want.tobytes() == have.tobytes()
+
+
+def test_worker_codegen_stats_fold_into_parent_metrics():
+    # The ready handshake carries the worker's codegen_stats() snapshot;
+    # the parent folds it into the mode="process" labelled cache counters.
+    from repro.codegen.jit import have_compiler
+    from repro.obs.metrics import get_registry
+
+    if not (have_compiler() and os.environ.get("REPRO_CODEGEN", "1") != "0"):
+        pytest.skip("worker compiles no native kernels in this environment")
+    model = _ReduceTailModel()
+    model.eval()
+    with ProcServer(model, np.zeros((1, 6), np.float32), buckets=(1, 2),
+                    workers=1, supervision=_FAST) as proc:
+        proc.submit(_req(np.random.default_rng(1))).result(timeout=120)
+    text = get_registry().render()
+    assert ('repro_codegen_cache_hit_total{mode="process"}' in text
+            or 'repro_codegen_cache_miss_total{mode="process"}' in text)
